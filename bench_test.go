@@ -1,0 +1,376 @@
+// Benchmarks regenerating every table and figure of the paper (one bench
+// per artifact, DESIGN.md §5) plus the design-choice ablations of
+// DESIGN.md §6. Each iteration performs a complete, reduced-scale run of
+// the corresponding experiment; the CLI tools (cmd/rhchar, cmd/rhmitigate,
+// cmd/rhreport) run the same code at full scale.
+package rowhammer_test
+
+import (
+	"testing"
+
+	rowhammer "repro"
+	"repro/internal/chips"
+	"repro/internal/core"
+	"repro/internal/faultmodel"
+	"repro/internal/memctrl"
+	"repro/internal/mitigation"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// benchOptions is the reduced characterization scale used per iteration.
+func benchOptions() core.Options {
+	return core.Options{
+		Scale:             chips.ScaleTiny,
+		Stride:            1,
+		MaxChipsPerConfig: 1,
+		Iterations:        2,
+		Seed:              1,
+	}
+}
+
+func BenchmarkTable1Population(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := core.RunTable1(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatal("empty census")
+		}
+	}
+}
+
+func BenchmarkTable2RowHammerable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := core.RunTable2(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) != 6 {
+			b.Fatalf("got %d rows", len(t.Rows))
+		}
+	}
+}
+
+func BenchmarkTable3WorstPattern(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunTable3(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4HCFirst(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := core.RunHCFirstStudy(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTable5Monotonicity(b *testing.B) {
+	o := benchOptions()
+	o.Iterations = 4
+	o.Stride = 4
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunTable5(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4Coverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunFigure4(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5RateVsHC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunFigure5(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6Spatial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunFigure6(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7WordDensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunFigure7(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8HCFirstDist(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := core.RunHCFirstStudy(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = s.FormatFigure8()
+	}
+}
+
+func BenchmarkFigure9ECC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunFigure9(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTables7and8Modules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(core.RunTable7().Modules) != 110 {
+			b.Fatal("DDR4 module count")
+		}
+		if len(core.RunTable8().Modules) != 60 {
+			b.Fatal("DDR3 module count")
+		}
+	}
+}
+
+// benchMitigationOptions is one reduced Figure 10 sweep.
+func benchMitigationOptions() core.MitigationOptions {
+	return core.MitigationOptions{
+		Mixes:        2,
+		Cores:        4,
+		TraceRecords: 1_000,
+		WarmupInsts:  1_000,
+		MeasureInsts: 8_000,
+		HCSweep:      []int{100_000, 2_000, 256},
+		Mechanisms: []core.MechanismID{
+			core.MechPARA, core.MechIdeal, core.MechTWiCeIdeal,
+			core.MechProHIT, core.MechMRLoc,
+		},
+		Seed: 1,
+	}
+}
+
+func BenchmarkFigure10Mitigations(b *testing.B) {
+	o := benchMitigationOptions()
+	for i := 0; i < b.N; i++ {
+		f, err := core.RunFigure10(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(f.Points) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkTable6Baseline(b *testing.B) {
+	cfg := sim.Table6Config(1_000, 10_000)
+	mix := trace.Mixes(1, 4, 1_000, 1)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(cfg, mix)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TotalIPC() <= 0 {
+			b.Fatal("zero IPC")
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §6) ---------------------------------------------
+
+func runAblatedSim(b *testing.B, mutate func(*sim.Config)) float64 {
+	b.Helper()
+	cfg := sim.Table6Config(1_000, 10_000)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	mix := trace.Mixes(1, 4, 1_000, 7)[0]
+	res, err := sim.Run(cfg, mix)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.TotalIPC()
+}
+
+func BenchmarkAblationFRFCFS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runAblatedSim(b, nil)
+	}
+}
+
+func BenchmarkAblationFCFSOnly(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runAblatedSim(b, func(c *sim.Config) { c.Ctrl.FCFSOnly = true })
+	}
+}
+
+func BenchmarkAblationOpenRow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runAblatedSim(b, nil)
+	}
+}
+
+func BenchmarkAblationClosedRow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runAblatedSim(b, func(c *sim.Config) { c.Ctrl.ClosedRow = true })
+	}
+}
+
+func benchPARAFanout(b *testing.B, fanout int) {
+	cfg := sim.Table6Config(1_000, 10_000)
+	mix := trace.Mixes(1, 4, 1_000, 7)[0]
+	for i := 0; i < b.N; i++ {
+		para, err := mitigation.NewPARA(cfg.MitigationParams(1_024, 1), cfg.T.TCKPS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		para.WithFanout(fanout)
+		run := cfg
+		run.Mechanism = para
+		if _, err := sim.Run(run, mix); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPARAFanout1(b *testing.B) { benchPARAFanout(b, 1) }
+func BenchmarkAblationPARAFanout2(b *testing.B) { benchPARAFanout(b, 2) }
+
+func benchBetaSweep(b *testing.B, beta float64) {
+	cfg := faultmodel.Config{
+		Name: "ablate-beta", Banks: 1, Rows: 256, RowBits: 1024,
+		HCFirst: 10_000, Beta: beta,
+		WorstPattern: faultmodel.RowStripe0, Seed: 11,
+	}
+	for i := 0; i < b.N; i++ {
+		chip, err := faultmodel.NewChip(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tester, err := rowhammer.NewTester(chip, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tester.WritePattern(chip.Config().WorstPattern)
+		if _, err := tester.Sweep(100_000, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBeta2(b *testing.B) { benchBetaSweep(b, 2) }
+func BenchmarkAblationBeta4(b *testing.B) { benchBetaSweep(b, 4) }
+
+// BenchmarkAblationLazySampling measures the lazy vulnerable-cell path:
+// chip construction plus a single-row test, which instantiates only the
+// touched rows.
+func BenchmarkAblationLazySampling(b *testing.B) {
+	cfg := faultmodel.Config{
+		Name: "lazy", Banks: 1, Rows: 8192, RowBits: 8192,
+		HCFirst: 10_000, Rate150k: 5e-5,
+		WorstPattern: faultmodel.RowStripe0, Seed: 5,
+	}
+	for i := 0; i < b.N; i++ {
+		chip, err := faultmodel.NewChip(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tester, err := rowhammer.NewTester(chip, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tester.WritePattern(chip.Config().WorstPattern)
+		if _, err := tester.HammerDoubleSided(4096, 100_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationEagerSampling instantiates the full cell population
+// up front (ForEachCell) before the same single-row test.
+func BenchmarkAblationEagerSampling(b *testing.B) {
+	cfg := faultmodel.Config{
+		Name: "eager", Banks: 1, Rows: 8192, RowBits: 8192,
+		HCFirst: 10_000, Rate150k: 5e-5,
+		WorstPattern: faultmodel.RowStripe0, Seed: 5,
+	}
+	for i := 0; i < b.N; i++ {
+		chip, err := faultmodel.NewChip(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		chip.ForEachCell(func(faultmodel.CellInfo) { n++ })
+		tester, err := rowhammer.NewTester(chip, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tester.WritePattern(chip.Config().WorstPattern)
+		if _, err := tester.HammerDoubleSided(4096, 100_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Core micro-benchmarks --------------------------------------------------
+
+func BenchmarkChipFullSweep(b *testing.B) {
+	chip, err := rowhammer.NewChip(rowhammer.ChipConfig{
+		Name: "bench", Banks: 1, Rows: 512, RowBits: 2048,
+		HCFirst: 10_000, Rate150k: 1e-4,
+		WorstPattern: rowhammer.RowStripe0, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tester, err := rowhammer.NewTester(chip, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tester.WritePattern(rowhammer.RowStripe0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tester.Sweep(100_000, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkControllerSaturated(b *testing.B) {
+	geo := rowhammer.Table6Geometry()
+	t := rowhammer.DDR4Timing(geo.Rows)
+	for i := 0; i < b.N; i++ {
+		ch, err := rowhammer.NewChannel(geo, t)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctrl, err := memctrl.New(memctrl.Table6Config(), ch, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mapper, err := rowhammer.NewAddressMapper(geo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		addr := int64(0)
+		for c := 0; c < 100_000; c++ {
+			ctrl.EnqueueRead(mapper.LineAddress(addr), func() {})
+			addr += 4096 // row-conflict heavy
+			ctrl.Tick()
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Command rhchar runs the paper's characterization experiments (Tables
+// 1–5, 7, 8 and Figures 4–9) against the simulated chip population and
+// prints the corresponding table or figure data.
+//
+// Usage:
+//
+//	rhchar -all
+//	rhchar -table 4 -scale medium
+//	rhchar -figure 6 -chips 8 -stride 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/chips"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		tableN  = flag.Int("table", 0, "reproduce one table (1,2,3,4,5,7,8)")
+		figureN = flag.Int("figure", 0, "reproduce one figure (4,5,6,7,8,9)")
+		all     = flag.Bool("all", false, "run every characterization artifact")
+		scale   = flag.String("scale", "small", "chip geometry: tiny, small, medium, full")
+		nChips  = flag.Int("chips", 4, "max instantiated chips per configuration (0 = all)")
+		stride  = flag.Int("stride", 1, "victim-row stride for full-chip sweeps")
+		iters   = flag.Int("iters", 0, "iterations for repeated experiments (0 = paper defaults)")
+		seed    = flag.Uint64("seed", 1, "population seed")
+	)
+	flag.Parse()
+
+	o := core.Options{
+		Stride:            *stride,
+		MaxChipsPerConfig: *nChips,
+		Iterations:        *iters,
+		Seed:              *seed,
+	}
+	switch *scale {
+	case "tiny":
+		o.Scale = chips.ScaleTiny
+	case "small":
+		o.Scale = chips.ScaleSmall
+	case "medium":
+		o.Scale = chips.ScaleMedium
+	case "full":
+		o.Scale = chips.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "rhchar: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	run := func(name string, fn func() (string, error)) {
+		out, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rhchar: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	artifacts := map[string]func() (string, error){
+		"table1": func() (string, error) {
+			t, err := core.RunTable1(o)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		},
+		"table2": func() (string, error) {
+			t, err := core.RunTable2(o)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		},
+		"table3": func() (string, error) {
+			t, err := core.RunTable3(o)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		},
+		"table4": func() (string, error) {
+			s, err := core.RunHCFirstStudy(o)
+			if err != nil {
+				return "", err
+			}
+			return s.FormatTable4(), nil
+		},
+		"table5": func() (string, error) {
+			t, err := core.RunTable5(o)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		},
+		"table7": func() (string, error) { return core.RunTable7().Format(), nil },
+		"table8": func() (string, error) { return core.RunTable8().Format(), nil },
+		"figure4": func() (string, error) {
+			f, err := core.RunFigure4(o)
+			if err != nil {
+				return "", err
+			}
+			return f.Format(), nil
+		},
+		"figure5": func() (string, error) {
+			f, err := core.RunFigure5(o)
+			if err != nil {
+				return "", err
+			}
+			return f.Format(), nil
+		},
+		"figure6": func() (string, error) {
+			f, err := core.RunFigure6(o)
+			if err != nil {
+				return "", err
+			}
+			return f.Format(), nil
+		},
+		"figure7": func() (string, error) {
+			f, err := core.RunFigure7(o)
+			if err != nil {
+				return "", err
+			}
+			return f.Format(), nil
+		},
+		"figure8": func() (string, error) {
+			s, err := core.RunHCFirstStudy(o)
+			if err != nil {
+				return "", err
+			}
+			return s.FormatFigure8(), nil
+		},
+		"figure9": func() (string, error) {
+			f, err := core.RunFigure9(o)
+			if err != nil {
+				return "", err
+			}
+			return f.Format(), nil
+		},
+	}
+
+	order := []string{"table1", "table2", "figure4", "table3", "figure5",
+		"figure6", "figure7", "figure8", "table4", "figure9", "table5",
+		"table7", "table8"}
+
+	switch {
+	case *all:
+		for _, name := range order {
+			run(name, artifacts[name])
+		}
+	case *tableN != 0:
+		name := fmt.Sprintf("table%d", *tableN)
+		fn, ok := artifacts[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rhchar: no such table %d\n", *tableN)
+			os.Exit(2)
+		}
+		run(name, fn)
+	case *figureN != 0:
+		name := fmt.Sprintf("figure%d", *figureN)
+		fn, ok := artifacts[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rhchar: no such figure %d\n", *figureN)
+			os.Exit(2)
+		}
+		run(name, fn)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

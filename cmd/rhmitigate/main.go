@@ -1,0 +1,90 @@
+// Command rhmitigate runs the Section 6 mitigation-mechanism evaluation
+// (Figure 10): cycle-accurate simulation of multi-programmed mixes under
+// every mechanism across an HCfirst sweep.
+//
+// Usage:
+//
+//	rhmitigate                       # default sweep, 48 mixes
+//	rhmitigate -mixes 8 -insts 20000 # quick run
+//	rhmitigate -mechs PARA,Ideal -hc 2000,256
+//	rhmitigate -config               # print the Table 6 system config
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		mixes    = flag.Int("mixes", 48, "number of 8-core workload mixes")
+		cores    = flag.Int("cores", 8, "cores per mix")
+		records  = flag.Int("records", 4000, "memory records per core trace")
+		warmup   = flag.Int64("warmup", 5000, "warmup instructions per core")
+		insts    = flag.Int64("insts", 50000, "measured instructions per core")
+		mechsStr = flag.String("mechs", "", "comma-separated mechanisms (default: all)")
+		hcStr    = flag.String("hc", "", "comma-separated HCfirst sweep points (default: paper sweep)")
+		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		showCfg  = flag.Bool("config", false, "print the simulated system configuration (Table 6) and exit")
+	)
+	flag.Parse()
+
+	if *showCfg {
+		printTable6()
+		return
+	}
+
+	o := core.MitigationOptions{
+		Mixes:        *mixes,
+		Cores:        *cores,
+		TraceRecords: *records,
+		WarmupInsts:  *warmup,
+		MeasureInsts: *insts,
+		Parallelism:  *parallel,
+		Seed:         *seed,
+	}
+	if *mechsStr != "" {
+		for _, m := range strings.Split(*mechsStr, ",") {
+			o.Mechanisms = append(o.Mechanisms, core.MechanismID(strings.TrimSpace(m)))
+		}
+	}
+	if *hcStr != "" {
+		for _, s := range strings.Split(*hcStr, ",") {
+			hc, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || hc <= 0 {
+				fmt.Fprintf(os.Stderr, "rhmitigate: bad HCfirst value %q\n", s)
+				os.Exit(2)
+			}
+			o.HCSweep = append(o.HCSweep, hc)
+		}
+	}
+
+	fig, err := core.RunFigure10(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhmitigate: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(fig.Format())
+}
+
+func printTable6() {
+	cfg := core.DefaultMitigationOptions()
+	sc := sim.Table6Config(cfg.WarmupInsts, cfg.MeasureInsts)
+	fmt.Println("Table 6: simulated system configuration")
+	fmt.Printf("  Processor        %d GHz, %d-core, %d-wide issue, %d-entry instr. window\n",
+		sc.CPUFreqMHz/1000, cfg.Cores, sc.Core.IssueWidth, sc.Core.WindowSize)
+	fmt.Printf("  Last-level cache %d-byte lines, %d-way, %d MiB\n",
+		sc.LLC.LineBytes, sc.LLC.Assoc, sc.LLC.SizeBytes>>20)
+	fmt.Printf("  Memory ctrl.     %d-entry read queue, FR-FCFS, write drain\n", sc.Ctrl.ReadQueue)
+	fmt.Printf("  Main memory      DDR4-2400, 1 channel, %d rank, %d bank groups × %d banks, %d rows/bank\n",
+		sc.Geo.Ranks, sc.Geo.BankGroups, sc.Geo.BanksPerGroup, sc.Geo.Rows)
+	fmt.Printf("  Timings          tRC=%.1fns tRCD=%d tRP=%d tCL=%d tRFC=%d tREFI=%d (cycles)\n",
+		sc.T.TRCNanos(), sc.T.RCD, sc.T.RP, sc.T.CL, sc.T.RFC, sc.T.REFI)
+}

@@ -1,0 +1,139 @@
+// Command rhreport runs the complete reproduction — every
+// characterization table/figure plus the mitigation evaluation — and
+// emits one consolidated report, suitable for regenerating
+// EXPERIMENTS.md's measured columns.
+//
+// Usage:
+//
+//	rhreport                # medium characterization + reduced Figure 10
+//	rhreport -quick         # tiny everything (~seconds)
+//	rhreport -full          # full-scale (long)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/chips"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "tiny scale, seconds")
+		full  = flag.Bool("full", false, "full scale, hours")
+		seed  = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	o := core.Options{Scale: chips.ScaleSmall, MaxChipsPerConfig: 4, Seed: *seed}
+	mo := core.MitigationOptions{
+		Mixes: 12, Cores: 8, TraceRecords: 3000,
+		WarmupInsts: 5000, MeasureInsts: 30000, Seed: *seed,
+	}
+	switch {
+	case *quick:
+		o.Scale = chips.ScaleTiny
+		o.MaxChipsPerConfig = 1
+		o.Iterations = 3
+		o.Stride = 2
+		mo.Mixes = 2
+		mo.Cores = 4
+		mo.MeasureInsts = 10000
+		mo.HCSweep = []int{100_000, 2_000, 256}
+	case *full:
+		o.Scale = chips.ScaleMedium
+		o.MaxChipsPerConfig = 0
+		mo = core.DefaultMitigationOptions()
+		mo.Seed = *seed
+	}
+
+	start := time.Now()
+	section := func(name string, fn func() (string, error)) {
+		t0 := time.Now()
+		out, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rhreport: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("  [%s in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	fmt.Println("=== RowHammer revisited: reproduction report ===")
+	fmt.Println()
+	section("table1", func() (string, error) {
+		t, err := core.RunTable1(o)
+		if err != nil {
+			return "", err
+		}
+		return t.Format(), nil
+	})
+	section("table2", func() (string, error) {
+		t, err := core.RunTable2(o)
+		if err != nil {
+			return "", err
+		}
+		return t.Format(), nil
+	})
+	section("figure4+table3", func() (string, error) {
+		f, err := core.RunFigure4(o)
+		if err != nil {
+			return "", err
+		}
+		t3 := &core.Table3{Rows: f.Rows}
+		return f.Format() + "\n" + t3.Format(), nil
+	})
+	section("figure5", func() (string, error) {
+		f, err := core.RunFigure5(o)
+		if err != nil {
+			return "", err
+		}
+		return f.Format(), nil
+	})
+	section("figure6", func() (string, error) {
+		f, err := core.RunFigure6(o)
+		if err != nil {
+			return "", err
+		}
+		return f.Format(), nil
+	})
+	section("figure7", func() (string, error) {
+		f, err := core.RunFigure7(o)
+		if err != nil {
+			return "", err
+		}
+		return f.Format(), nil
+	})
+	section("figure8+table4", func() (string, error) {
+		s, err := core.RunHCFirstStudy(o)
+		if err != nil {
+			return "", err
+		}
+		return s.FormatFigure8() + "\n" + s.FormatTable4(), nil
+	})
+	section("figure9", func() (string, error) {
+		f, err := core.RunFigure9(o)
+		if err != nil {
+			return "", err
+		}
+		return f.Format(), nil
+	})
+	section("table5", func() (string, error) {
+		t, err := core.RunTable5(o)
+		if err != nil {
+			return "", err
+		}
+		return t.Format(), nil
+	})
+	section("figure10", func() (string, error) {
+		f, err := core.RunFigure10(mo)
+		if err != nil {
+			return "", err
+		}
+		return f.Format(), nil
+	})
+	fmt.Printf("=== report complete in %v ===\n", time.Since(start).Round(time.Second))
+}

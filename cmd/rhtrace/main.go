@@ -1,0 +1,80 @@
+// Command rhtrace generates and inspects the synthetic workload traces
+// used by the mitigation evaluation.
+//
+// Usage:
+//
+//	rhtrace -list                         # show the workload catalog
+//	rhtrace -profile stream-copy -n 1000  # emit a trace to stdout
+//	rhtrace -stat < trace.txt             # summarize a trace file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list workload profiles")
+		profile = flag.String("profile", "", "generate a trace for this profile")
+		n       = flag.Int("n", 10000, "memory records to generate")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		stat    = flag.Bool("stat", false, "summarize a trace read from stdin")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Printf("%-16s %8s %12s %6s %6s\n", "profile", "mem%", "working-set", "seq%", "wr%")
+		for _, p := range trace.Catalog() {
+			fmt.Printf("%-16s %7.0f%% %10dMiB %5.0f%% %5.0f%%\n",
+				p.Name, 100*p.MemFraction, p.WorkingSetBytes>>20, 100*p.Sequential, 100*p.WriteRatio)
+		}
+	case *profile != "":
+		var found *trace.Profile
+		for _, p := range trace.Catalog() {
+			if p.Name == *profile {
+				p := p
+				found = &p
+				break
+			}
+		}
+		if found == nil {
+			fmt.Fprintf(os.Stderr, "rhtrace: unknown profile %q (try -list)\n", *profile)
+			os.Exit(2)
+		}
+		t := found.Generate(*n, *seed)
+		if err := t.Encode(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "rhtrace: %v\n", err)
+			os.Exit(1)
+		}
+	case *stat:
+		t, err := trace.Decode(os.Stdin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rhtrace: %v\n", err)
+			os.Exit(1)
+		}
+		writes := 0
+		var minAddr, maxAddr int64
+		for i, r := range t.Records {
+			if r.Write {
+				writes++
+			}
+			if i == 0 || r.Addr < minAddr {
+				minAddr = r.Addr
+			}
+			if r.Addr > maxAddr {
+				maxAddr = r.Addr
+			}
+		}
+		fmt.Printf("trace %s: %d records, %d instructions, %.1f%% writes, span %d KiB\n",
+			t.Name, len(t.Records), t.Instructions(),
+			100*float64(writes)/float64(len(t.Records)), (maxAddr-minAddr)>>10)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

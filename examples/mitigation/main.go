@@ -1,0 +1,65 @@
+// Mitigation: compare the RowHammer mitigation mechanisms on one 8-core
+// workload mix across decreasing HCfirst values — a single-mix slice of
+// Figure 10 showing how overheads scale as chips grow more vulnerable.
+package main
+
+import (
+	"fmt"
+	"log"
+	"text/tabwriter"
+
+	"os"
+
+	rowhammer "repro"
+)
+
+func main() {
+	cfg := rowhammer.Table6SimConfig(2_000, 25_000)
+	mix := rowhammer.WorkloadMixes(1, 8, 2_000, 11)[0]
+
+	// Baseline: no mitigation.
+	base, err := rowhammer.RunSim(cfg, mix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mix %s: baseline IPC %.2f, MPKI %.0f\n\n", mix.Name, base.TotalIPC(), base.MPKI)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "mechanism\tHCfirst\trel. perf\tbandwidth overhead\tmitigation ACTs")
+
+	type build func(p rowhammer.MitigationParams) (rowhammer.Mechanism, error)
+	mechs := []struct {
+		name string
+		mk   build
+	}{
+		{"PARA", func(p rowhammer.MitigationParams) (rowhammer.Mechanism, error) {
+			return rowhammer.NewPARA(p, cfg.T.TCKPS)
+		}},
+		{"TWiCe-ideal", func(p rowhammer.MitigationParams) (rowhammer.Mechanism, error) {
+			return rowhammer.NewTWiCe(p, true)
+		}},
+		{"Ideal", rowhammer.NewIdealMechanism},
+	}
+
+	for _, m := range mechs {
+		for _, hc := range []int{100_000, 4_800, 512, 128} {
+			mech, err := m.mk(cfg.MitigationParams(hc, 1))
+			if err != nil {
+				log.Fatal(err)
+			}
+			run := cfg
+			run.Mechanism = mech
+			res, err := rowhammer.RunSim(run, mix)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "%s\t%d\t%.1f%%\t%.3f%%\t%d\n",
+				m.name, hc,
+				100*res.TotalIPC()/base.TotalIPC(),
+				res.BandwidthOverheadPct,
+				res.Ctrl.MitigationACTs)
+		}
+	}
+	w.Flush()
+	fmt.Println("\nLower HCfirst ⇒ more victim refreshes ⇒ less bandwidth for the workload.")
+}

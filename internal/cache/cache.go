@@ -1,0 +1,282 @@
+// Package cache models the shared last-level cache of the simulated
+// system (Table 6: 16 MiB, 8-way, 64 B lines): LRU replacement,
+// write-back/write-allocate, and MSHR-based miss handling in front of the
+// memory controller.
+package cache
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Backend is the memory side of the cache (the memory controller).
+// EnqueueRead returns false when the read queue is full — the cache then
+// rejects the access and the core retries. Writebacks must always be
+// accepted (the controller keeps a write backlog).
+type Backend interface {
+	EnqueueRead(addr int64, onDone func()) bool
+	EnqueueWrite(addr int64)
+}
+
+// Config sizes the cache.
+type Config struct {
+	SizeBytes  int64
+	Assoc      int
+	LineBytes  int
+	HitLatency int // CPU cycles from access to data for a hit
+	MSHRs      int // outstanding distinct line misses
+}
+
+// Table6Config is the paper's LLC: 16 MiB, 8-way, 64 B lines. Hit latency
+// approximates a three-level hierarchy's LLC round trip; MSHRs allow full
+// memory-level parallelism across the 8-core window.
+func Table6Config() Config {
+	return Config{
+		SizeBytes:  16 << 20,
+		Assoc:      8,
+		LineBytes:  64,
+		HitLatency: 30,
+		MSHRs:      64,
+	}
+}
+
+type line struct {
+	tag   int64
+	valid bool
+	dirty bool
+}
+
+type mshr struct {
+	lineAddr int64
+	waiters  []func()
+	dirty    bool // a write merged into this fill
+}
+
+// Stats counts cache activity, per requester and total.
+type Stats struct {
+	Accesses, Hits, Misses int64
+	Writebacks             int64
+	MSHRMerges             int64
+}
+
+// Cache is a set-associative LLC. It is driven in the CPU clock domain:
+// call Tick once per CPU cycle.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	lru     [][]int8 // per-set LRU stack: lru[s][0] = most recent way
+	nsets   int
+	backend Backend
+
+	mshrs map[int64]*mshr
+
+	// hit-latency delay ring: ring[cycle % len] holds callbacks due.
+	ring  [][]func()
+	cycle int64
+
+	Stats    Stats
+	PerCore  []Stats
+	nrequest int
+}
+
+// New builds a cache over the backend for n requesters (cores).
+func New(cfg Config, backend Backend, cores int) (*Cache, error) {
+	if cfg.SizeBytes <= 0 || cfg.Assoc <= 0 || cfg.LineBytes <= 0 {
+		return nil, errors.New("cache: size, associativity and line size must be positive")
+	}
+	nsets := int(cfg.SizeBytes / int64(cfg.LineBytes) / int64(cfg.Assoc))
+	if nsets == 0 {
+		return nil, errors.New("cache: fewer than one set")
+	}
+	if nsets&(nsets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d must be a power of two", nsets)
+	}
+	if cfg.HitLatency < 1 {
+		cfg.HitLatency = 1
+	}
+	if cfg.MSHRs < 1 {
+		cfg.MSHRs = 1
+	}
+	c := &Cache{
+		cfg:     cfg,
+		nsets:   nsets,
+		backend: backend,
+		mshrs:   make(map[int64]*mshr),
+		ring:    make([][]func(), cfg.HitLatency+1),
+		PerCore: make([]Stats, cores),
+	}
+	c.sets = make([][]line, nsets)
+	c.lru = make([][]int8, nsets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Assoc)
+		order := make([]int8, cfg.Assoc)
+		for w := range order {
+			order[w] = int8(w)
+		}
+		c.lru[i] = order
+	}
+	return c, nil
+}
+
+// Tick advances the CPU clock and fires due hit callbacks.
+func (c *Cache) Tick() {
+	c.cycle++
+	slot := c.cycle % int64(len(c.ring))
+	for _, fn := range c.ring[slot] {
+		fn()
+	}
+	c.ring[slot] = c.ring[slot][:0]
+}
+
+func (c *Cache) schedule(delay int, fn func()) {
+	if delay < 1 {
+		delay = 1
+	}
+	slot := (c.cycle + int64(delay)) % int64(len(c.ring))
+	c.ring[slot] = append(c.ring[slot], fn)
+}
+
+func (c *Cache) lineAddr(addr int64) int64 { return addr / int64(c.cfg.LineBytes) }
+
+func (c *Cache) setOf(la int64) int { return int(la & int64(c.nsets-1)) }
+
+// touch moves way to the MRU position of set s.
+func (c *Cache) touch(s, way int) {
+	order := c.lru[s]
+	for i, w := range order {
+		if int(w) == way {
+			copy(order[1:i+1], order[:i])
+			order[0] = int8(way)
+			return
+		}
+	}
+}
+
+// lookup returns the way holding la, or -1.
+func (c *Cache) lookup(la int64) (set, way int) {
+	s := c.setOf(la)
+	for w := range c.sets[s] {
+		if c.sets[s][w].valid && c.sets[s][w].tag == la {
+			return s, w
+		}
+	}
+	return s, -1
+}
+
+// install fills la into its set, evicting LRU (writing back if dirty).
+func (c *Cache) install(la int64, dirty bool) {
+	s := c.setOf(la)
+	order := c.lru[s]
+	victim := int(order[len(order)-1])
+	for w := range c.sets[s] { // prefer an invalid way
+		if !c.sets[s][w].valid {
+			victim = w
+			break
+		}
+	}
+	v := &c.sets[s][victim]
+	if v.valid && v.dirty {
+		c.Stats.Writebacks++
+		c.backend.EnqueueWrite(v.tag * int64(c.cfg.LineBytes))
+	}
+	*v = line{tag: la, valid: true, dirty: dirty}
+	c.touch(s, victim)
+}
+
+func (c *Cache) account(core int, hit bool) {
+	c.Stats.Accesses++
+	if hit {
+		c.Stats.Hits++
+	} else {
+		c.Stats.Misses++
+	}
+	if core >= 0 && core < len(c.PerCore) {
+		c.PerCore[core].Accesses++
+		if hit {
+			c.PerCore[core].Hits++
+		} else {
+			c.PerCore[core].Misses++
+		}
+	}
+}
+
+// access implements both reads and writes; onDone fires when the data is
+// available (reads) or the line is owned (writes). It returns false when
+// the access cannot be accepted this cycle (MSHRs or the controller's
+// read queue are full) — the caller must retry.
+func (c *Cache) access(core int, addr int64, write bool, onDone func()) bool {
+	la := c.lineAddr(addr)
+	if s, w := c.lookup(la); w >= 0 {
+		c.account(core, true)
+		c.touch(s, w)
+		if write {
+			c.sets[s][w].dirty = true
+		}
+		if onDone != nil {
+			c.schedule(c.cfg.HitLatency, onDone)
+		}
+		return true
+	}
+	// Miss: merge into an in-flight fill when possible.
+	if m, ok := c.mshrs[la]; ok {
+		c.Stats.MSHRMerges++
+		c.account(core, false)
+		if write {
+			m.dirty = true
+		}
+		if onDone != nil {
+			m.waiters = append(m.waiters, onDone)
+		}
+		return true
+	}
+	if len(c.mshrs) >= c.cfg.MSHRs {
+		return false
+	}
+	m := &mshr{lineAddr: la, dirty: write}
+	if onDone != nil {
+		m.waiters = append(m.waiters, onDone)
+	}
+	// Register the MSHR before handing the fill callback to the backend:
+	// a backend that completes synchronously must find (and clear) it.
+	c.mshrs[la] = m
+	accepted := c.backend.EnqueueRead(la*int64(c.cfg.LineBytes), func() {
+		delete(c.mshrs, la)
+		c.install(la, m.dirty)
+		for _, fn := range m.waiters {
+			fn()
+		}
+	})
+	if !accepted {
+		delete(c.mshrs, la)
+		return false
+	}
+	c.account(core, false)
+	return true
+}
+
+// Read requests addr for core; onDone fires when data is ready.
+func (c *Cache) Read(core int, addr int64, onDone func()) bool {
+	return c.access(core, addr, false, onDone)
+}
+
+// Write stores to addr (write-allocate, write-back). The done callback is
+// optional: stores retire immediately in the core model.
+func (c *Cache) Write(core int, addr int64) bool {
+	return c.access(core, addr, true, nil)
+}
+
+// MPKI returns misses per kilo-instruction given an instruction count.
+func (s Stats) MPKI(instructions int64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(s.Misses) * 1000 / float64(instructions)
+}
+
+// ResetStats zeroes the counters (end of warmup).
+func (c *Cache) ResetStats() {
+	c.Stats = Stats{}
+	for i := range c.PerCore {
+		c.PerCore[i] = Stats{}
+	}
+}

@@ -1,0 +1,88 @@
+package charact
+
+import "fmt"
+
+// RemapKind classifies a chip's logical-to-physical row address mapping
+// as inferred from hammering behaviour (Section 4.3).
+type RemapKind int
+
+const (
+	// RemapIdentity: logical row N is physically adjacent to N±1.
+	RemapIdentity RemapKind = iota
+	// RemapPairedWordlines: logical rows 2k and 2k+1 share one physical
+	// wordline, so row N's physical neighbours are N±2 (the Mfr B
+	// LPDDR4-1x behaviour).
+	RemapPairedWordlines
+	// RemapUnknown: not enough flips to decide.
+	RemapUnknown
+)
+
+func (k RemapKind) String() string {
+	switch k {
+	case RemapIdentity:
+		return "identity"
+	case RemapPairedWordlines:
+		return "paired-wordlines"
+	default:
+		return "unknown"
+	}
+}
+
+// ReverseEngineerRemap rediscovers the chip's internal row remapping the
+// way the paper does: repeatedly access single rows and observe where the
+// flips land. Hammering an even logical row on a paired-wordline chip
+// yields no flips in the two consecutive rows sharing its wordline but a
+// near-equal number in the four rows of the two adjacent wordlines.
+func (t *Tester) ReverseEngineerRemap(attempts int) (RemapKind, error) {
+	if attempts < 1 {
+		attempts = 8
+	}
+	t.WritePattern(t.chip.Config().WorstPattern)
+	// Single-sided hammering delivers half the effective hammers per ACT,
+	// so use (nearly) the full 32 ms single-sided activation budget.
+	hc := 9 * t.MaxHC / 5
+
+	adjacent, skip2 := 0, 0
+	rows := t.chip.Rows()
+	for i := 0; i < attempts && adjacent+skip2 < 12; i++ {
+		// Spread aggressors across the array, using even rows so the
+		// paired-wordline signature (no flips at +1) is unambiguous.
+		agg := (rows / (attempts + 1)) * (i + 1) &^ 1
+		if agg < 4 || agg > rows-5 {
+			continue
+		}
+		flips, err := t.HammerSingleSided(agg, hc)
+		if err != nil {
+			return RemapUnknown, err
+		}
+		for _, f := range flips {
+			switch f.Row - agg {
+			case -1, 1:
+				adjacent++
+			case -2, -3, 2, 3:
+				skip2++
+			}
+		}
+	}
+	switch {
+	case adjacent == 0 && skip2 == 0:
+		return RemapUnknown, nil
+	case adjacent >= skip2:
+		return RemapIdentity, nil
+	default:
+		return RemapPairedWordlines, nil
+	}
+}
+
+// AggressorOffset converts an inferred remap into the logical-row offset
+// a double-sided test must use for its aggressors.
+func (k RemapKind) AggressorOffset() (int, error) {
+	switch k {
+	case RemapIdentity:
+		return 1, nil
+	case RemapPairedWordlines:
+		return 2, nil
+	default:
+		return 0, fmt.Errorf("charact: cannot derive aggressor offset for %v remap", k)
+	}
+}

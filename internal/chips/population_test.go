@@ -1,0 +1,233 @@
+package chips
+
+import (
+	"testing"
+
+	"repro/internal/faultmodel"
+)
+
+func TestModuleCounts(t *testing.T) {
+	if got := len(DDR4Modules()); got != 110 {
+		t.Errorf("DDR4 modules = %d, want 110 (Table 7)", got)
+	}
+	if got := len(DDR3Modules()); got != 60 {
+		t.Errorf("DDR3 modules = %d, want 60 (Table 8)", got)
+	}
+	if got := len(LPDDR4Modules()); got != 130 {
+		t.Errorf("LPDDR4 modules = %d, want 130 (Table 1)", got)
+	}
+	if got := len(AllModules()); got != 300 {
+		t.Errorf("total modules = %d, want 300", got)
+	}
+}
+
+func TestModuleIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range AllModules() {
+		if seen[m.ID] {
+			t.Errorf("duplicate module id %q", m.ID)
+		}
+		seen[m.ID] = true
+	}
+}
+
+func TestChipCountsPerType(t *testing.T) {
+	count := func(ms []ModuleSpec) int {
+		n := 0
+		for _, m := range ms {
+			n += m.Chips
+		}
+		return n
+	}
+	// Tables 7/8 chip sums; LPDDR4 matches Table 1 exactly (520). Note
+	// the paper's own Table 1 (408 DDR3 chips) does not reconcile with
+	// its appendix Table 8 (432 = sum of modules × chips); we encode the
+	// appendix, which is the per-module source of truth.
+	if got := count(DDR3Modules()); got != 432 {
+		t.Errorf("DDR3 chips = %d, want 432 (Table 8 sum)", got)
+	}
+	if got := count(LPDDR4Modules()); got != 520 {
+		t.Errorf("LPDDR4 chips = %d, want 520", got)
+	}
+}
+
+func TestPaperHCFirstTable4(t *testing.T) {
+	cases := []struct {
+		tn   TypeNode
+		mfr  string
+		want float64
+	}{
+		{DDR3Old, "A", 69_200},
+		{DDR3New, "B", 22_400},
+		{DDR4Old, "A", 17_500},
+		{DDR4New, "A", 10_000},
+		{LPDDR4x, "B", 16_800},
+		{LPDDR4y, "A", 4_800},
+		{LPDDR4y, "C", 9_600},
+	}
+	for _, c := range cases {
+		got, ok := PaperHCFirst(c.tn, c.mfr)
+		if !ok || got != c.want {
+			t.Errorf("PaperHCFirst(%v,%s) = %v,%v want %v", c.tn, c.mfr, got, ok, c.want)
+		}
+	}
+	if _, ok := PaperHCFirst(LPDDR4x, "C"); ok {
+		t.Error("LPDDR4-1x Mfr C should be missing (Section 4.2)")
+	}
+	if _, ok := PaperHCFirst(LPDDR4y, "B"); ok {
+		t.Error("LPDDR4-1y Mfr B should be missing (Section 4.2)")
+	}
+}
+
+func TestModuleMinimaMatchTable4(t *testing.T) {
+	// The per-configuration minimum over module minima must equal the
+	// published Table 4 value.
+	min := map[TypeNode]map[string]float64{}
+	for _, m := range AllModules() {
+		if m.MinHCFirst == 0 {
+			continue
+		}
+		if min[m.Node] == nil {
+			min[m.Node] = map[string]float64{}
+		}
+		cur, ok := min[m.Node][m.Mfr]
+		if !ok || m.MinHCFirst < cur {
+			min[m.Node][m.Mfr] = m.MinHCFirst
+		}
+	}
+	for _, tn := range TypeNodes {
+		for _, mfr := range Manufacturers {
+			want, ok := PaperHCFirst(tn, mfr)
+			if !ok {
+				continue
+			}
+			got, ok := min[tn][mfr]
+			if !ok {
+				t.Errorf("%v/%s: no module minimum", tn, mfr)
+				continue
+			}
+			if got != want {
+				t.Errorf("%v/%s: module minimum %v, Table 4 says %v", tn, mfr, got, want)
+			}
+		}
+	}
+}
+
+func TestPopulationDeterministic(t *testing.T) {
+	a := NewPopulation(AllModules(), ScaleTiny, 9)
+	b := NewPopulation(AllModules(), ScaleTiny, 9)
+	if len(a.Chips) != len(b.Chips) {
+		t.Fatal("chip counts differ")
+	}
+	for i := range a.Chips {
+		if a.Chips[i] != b.Chips[i] {
+			t.Fatalf("chip %d differs", i)
+		}
+	}
+}
+
+func TestPopulationFirstChipCarriesModuleMin(t *testing.T) {
+	pop := NewPopulation(DDR4Modules(), Scale{Banks: 1, Rows: 256, RowBits: 1024}, 3)
+	byModule := map[string][]ChipSpec{}
+	for _, c := range pop.Chips {
+		byModule[c.Module] = append(byModule[c.Module], c)
+	}
+	for _, m := range DDR4Modules() {
+		chips := byModule[m.ID]
+		if len(chips) != m.Chips {
+			t.Fatalf("module %s has %d chips, want %d", m.ID, len(chips), m.Chips)
+		}
+		if m.MinHCFirst > 0 && chips[0].HCFirst != m.MinHCFirst {
+			t.Errorf("module %s first chip HCfirst %v, want %v", m.ID, chips[0].HCFirst, m.MinHCFirst)
+		}
+		for _, c := range chips {
+			if m.MinHCFirst > 0 && c.HCFirst < m.MinHCFirst {
+				t.Errorf("chip %s below module minimum", c.Name)
+			}
+		}
+	}
+}
+
+func TestSpecRowHammerableMatchesTable2(t *testing.T) {
+	counts := SpecRowHammerable(AllModules(), 1)
+	want := map[TypeNode]map[string][2]int{
+		DDR3Old: {"A": {24, 80}, "B": {0, 88}, "C": {0, 28}},
+		DDR3New: {"A": {8, 80}, "B": {44, 52}, "C": {96, 104}},
+	}
+	for tn, byMfr := range want {
+		for mfr, w := range byMfr {
+			got := counts[tn][mfr]
+			if got != w {
+				t.Errorf("%v/%s = %v, want %v", tn, mfr, got, w)
+			}
+		}
+	}
+	// All DDR4 and LPDDR4 chips are RowHammerable (Section 5.1).
+	for _, tn := range []TypeNode{DDR4Old, DDR4New, LPDDR4x, LPDDR4y} {
+		for mfr, v := range counts[tn] {
+			if v[0] != v[1] {
+				t.Errorf("%v/%s: %d of %d RowHammerable, want all", tn, mfr, v[0], v[1])
+			}
+		}
+	}
+}
+
+func TestInstantiateAppliesCalibration(t *testing.T) {
+	pop := NewPopulation(LPDDR4Modules(), ScaleTiny, 5)
+	var bSpec, aSpec *ChipSpec
+	for i := range pop.Chips {
+		c := &pop.Chips[i]
+		if c.Node == LPDDR4x && c.Mfr == "B" && bSpec == nil {
+			bSpec = c
+		}
+		if c.Node == LPDDR4y && c.Mfr == "A" && aSpec == nil {
+			aSpec = c
+		}
+	}
+	if bSpec == nil || aSpec == nil {
+		t.Fatal("missing LPDDR4 specs")
+	}
+	bChip, err := pop.Instantiate(*bSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bChip.Config().PairedWordlines {
+		t.Error("Mfr B LPDDR4-1x must use paired wordlines")
+	}
+	if !bChip.Config().OnDieECC {
+		t.Error("LPDDR4 must have on-die ECC")
+	}
+	aChip, err := pop.Instantiate(*aSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aChip.Config().PairedWordlines {
+		t.Error("Mfr A chips must not use paired wordlines")
+	}
+	if aChip.Config().WorstPattern != faultmodel.RowStripe1 {
+		t.Errorf("LPDDR4-1y worst pattern = %v, want RowStripe1 (Table 3)",
+			aChip.Config().WorstPattern)
+	}
+	if aChip.BlastRadius() != 5 {
+		t.Errorf("LPDDR4-1y blast radius = %d, want 5 (Figure 6)", aChip.BlastRadius())
+	}
+}
+
+func TestCensusMatchesTable1Structure(t *testing.T) {
+	pop := NewPopulation(AllModules(), ScaleTiny, 1)
+	census := pop.Census()
+	byKey := map[string]CensusRow{}
+	for _, r := range census {
+		byKey[r.Node.String()+r.Mfr] = r
+	}
+	// Spot-check Table 1 cells that map 1:1 onto Tables 7/8.
+	if r := byKey["DDR4-old"+"A"]; r.Modules != 16 {
+		t.Errorf("DDR4-old A modules = %d, want 16", r.Modules)
+	}
+	if r := byKey["LPDDR4-1y"+"A"]; r.Chips != 184 || r.Modules != 46 {
+		t.Errorf("LPDDR4-1y A = %d (%d), want 184 (46)", r.Chips, r.Modules)
+	}
+	if r := byKey["LPDDR4-1x"+"B"]; r.Chips != 180 || r.Modules != 45 {
+		t.Errorf("LPDDR4-1x B = %d (%d), want 180 (45)", r.Chips, r.Modules)
+	}
+}

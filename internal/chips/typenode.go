@@ -1,0 +1,137 @@
+// Package chips encodes the paper's DRAM chip population: the 300 modules
+// / 1580 chips of Tables 1, 7 and 8, the per-configuration RowHammer
+// calibration of Tables 2, 3 and 4, and constructors that turn population
+// entries into faultmodel chips at a chosen geometry scale.
+package chips
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/faultmodel"
+)
+
+// TypeNode is a DRAM type-node configuration, the paper's primary
+// independent variable (e.g. "DDR4-new", "LPDDR4-1y").
+type TypeNode struct {
+	Type dram.Type
+	Node string // "old", "new", "1x", "1y"
+}
+
+func (tn TypeNode) String() string { return fmt.Sprintf("%v-%s", tn.Type, tn.Node) }
+
+// The ten type-node configurations of Table 1, in the paper's age order.
+var (
+	DDR3Old   = TypeNode{dram.DDR3, "old"}
+	DDR3New   = TypeNode{dram.DDR3, "new"}
+	DDR4Old   = TypeNode{dram.DDR4, "old"}
+	DDR4New   = TypeNode{dram.DDR4, "new"}
+	LPDDR4x   = TypeNode{dram.LPDDR4, "1x"}
+	LPDDR4y   = TypeNode{dram.LPDDR4, "1y"}
+	TypeNodes = []TypeNode{DDR3Old, DDR3New, DDR4Old, DDR4New, LPDDR4x, LPDDR4y}
+)
+
+// Manufacturers lists the three anonymized DRAM manufacturers.
+var Manufacturers = []string{"A", "B", "C"}
+
+// nodeCalibration holds the per-(type-node, manufacturer) RowHammer
+// behaviour calibrated from the paper's characterization results.
+type nodeCalibration struct {
+	// rate150k: chip-level flip rate at HC=150k under the worst-case
+	// pattern (Figure 5's order of magnitude; Section 5.1's flip counts).
+	rate150k float64
+	// w3, w5: coupling at wordline distances 3 and 5 (Figure 6's blast
+	// radius: DDR3/DDR4 ±2 rows, LPDDR4-1x ±4, LPDDR4-1y ±6).
+	w3, w5 float64
+	// worst: the worst-case data pattern of Table 3.
+	worst faultmodel.Pattern
+	// clusterP: probability of same-word multi-cell sites (Figures 7, 9).
+	clusterP float64
+}
+
+// calibration returns the fault-model calibration for a configuration.
+// Entries the paper marks "N/A"/"Not enough flips" fall back to the
+// type-node's sibling behaviour with a Checkered0 worst pattern.
+func calibration(tn TypeNode, mfr string) nodeCalibration {
+	cal := nodeCalibration{worst: faultmodel.Checkered0, clusterP: 0.20}
+	switch tn {
+	case DDR3Old:
+		cal.rate150k = 1e-8
+	case DDR3New:
+		switch mfr {
+		case "A":
+			// Mfr A DDR3-new chips show <20 flips on average at HC=150k
+			// (Section 5.1), orders of magnitude below Mfrs B and C.
+			cal.rate150k = 1e-9
+		default:
+			// Mfrs B and C DDR3-new average 87k flips per chip at
+			// HC=150k on multi-gigabit devices: ≈2e-5 of all cells.
+			cal.rate150k = 2e-5
+			cal.worst = faultmodel.Checkered0
+		}
+	case DDR4Old:
+		cal.rate150k = 1e-5
+		switch mfr {
+		case "C":
+			cal.worst = faultmodel.RowStripe0
+		default:
+			cal.worst = faultmodel.RowStripe1
+		}
+	case DDR4New:
+		cal.rate150k = 5e-5
+		switch mfr {
+		case "C":
+			cal.worst = faultmodel.Checkered1
+		default:
+			cal.worst = faultmodel.RowStripe0
+		}
+	case LPDDR4x:
+		cal.rate150k = 1e-4
+		cal.w3 = 0.10
+		cal.clusterP = 0.35
+		switch mfr {
+		case "A":
+			cal.worst = faultmodel.Checkered1
+		default:
+			cal.worst = faultmodel.Checkered0
+		}
+	case LPDDR4y:
+		cal.rate150k = 3e-4
+		cal.w3 = 0.12
+		cal.w5 = 0.05
+		cal.clusterP = 0.35
+		cal.worst = faultmodel.RowStripe1
+	}
+	return cal
+}
+
+// WorstPattern returns the Table 3 worst-case data pattern for a
+// configuration (our calibration input, which Table 3's experiment must
+// rediscover by sweeping patterns).
+func WorstPattern(tn TypeNode, mfr string) faultmodel.Pattern {
+	return calibration(tn, mfr).worst
+}
+
+// PaperHCFirst returns Table 4: the lowest HCfirst (in hammers) the paper
+// measured across all chips of the configuration, and false where the
+// paper has no chips of that configuration.
+func PaperHCFirst(tn TypeNode, mfr string) (float64, bool) {
+	v := map[TypeNode]map[string]float64{
+		DDR3Old: {"A": 69_200, "B": 157_000, "C": 155_000},
+		DDR3New: {"A": 85_000, "B": 22_400, "C": 24_000},
+		DDR4Old: {"A": 17_500, "B": 30_000, "C": 87_000},
+		DDR4New: {"A": 10_000, "B": 25_000, "C": 40_000},
+		LPDDR4x: {"A": 43_200, "B": 16_800},
+		LPDDR4y: {"A": 4_800, "C": 9_600},
+	}
+	hc, ok := v[tn][mfr]
+	return hc, ok
+}
+
+// HasConfiguration reports whether the paper has chips for the
+// (type-node, manufacturer) pair; LPDDR4-1x Mfr C and LPDDR4-1y Mfr B are
+// missing (Section 4.2).
+func HasConfiguration(tn TypeNode, mfr string) bool {
+	_, ok := PaperHCFirst(tn, mfr)
+	return ok
+}

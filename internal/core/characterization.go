@@ -1,0 +1,557 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/charact"
+	"repro/internal/chips"
+	"repro/internal/faultmodel"
+	"repro/internal/stats"
+)
+
+// newTester instantiates a population chip and wraps it in a tester with
+// its worst-case pattern written, the state every experiment starts from.
+func newTester(pop *chips.Population, spec chips.ChipSpec) (*charact.Tester, error) {
+	chip, err := pop.Instantiate(spec)
+	if err != nil {
+		return nil, err
+	}
+	t, err := charact.NewTester(chip, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.WritePattern(chip.Config().WorstPattern)
+	return t, nil
+}
+
+// --- Table 1 ---------------------------------------------------------------
+
+// Table1 is the chip-population census.
+type Table1 struct {
+	Rows []chips.CensusRow
+}
+
+// RunTable1 tabulates the population.
+func RunTable1(o Options) (*Table1, error) {
+	o = o.normalized()
+	return &Table1{Rows: o.population().Census()}, nil
+}
+
+// --- Table 2 ---------------------------------------------------------------
+
+// Table2Row is one cell of Table 2: RowHammerable DDR3 chips.
+type Table2Row struct {
+	Key        ConfigKey
+	Vulnerable int
+	Total      int
+}
+
+// Table2 reports the fraction of DDR3 chips with any flips at HC < 150k.
+type Table2 struct {
+	Rows []Table2Row
+}
+
+// RunTable2 counts RowHammerable chips over the full module list (ground
+// truth census; Section 5.1 defines RowHammerable as flipping within the
+// 150k sweep).
+func RunTable2(o Options) (*Table2, error) {
+	o = o.normalized()
+	counts := chips.SpecRowHammerable(o.Modules, o.Seed)
+	t := &Table2{}
+	for _, k := range ConfigKeys() {
+		if k.Node.Type != chips.DDR3Old.Type {
+			continue
+		}
+		v := counts[k.Node][k.Mfr]
+		t.Rows = append(t.Rows, Table2Row{Key: k, Vulnerable: v[0], Total: v[1]})
+	}
+	return t, nil
+}
+
+// --- Figure 4 / Table 3 ----------------------------------------------------
+
+// CoverageRow is one configuration's Figure 4 subplot plus its Table 3
+// worst-case pattern.
+type CoverageRow struct {
+	Key        ConfigKey
+	Chip       string
+	Coverage   map[faultmodel.Pattern]float64
+	TotalFlips int
+	Worst      faultmodel.Pattern
+	WorstOK    bool // false when not enough flips (paper's empty cells)
+	PaperWorst faultmodel.Pattern
+}
+
+// Figure4 holds per-configuration data-pattern coverages.
+type Figure4 struct {
+	HC   int
+	Rows []CoverageRow
+}
+
+// RunFigure4 measures pattern coverage on one representative chip per
+// configuration (10 iterations at HC = 150k, Section 5.2). Table 3 falls
+// out of the same data via WorstPattern.
+func RunFigure4(o Options) (*Figure4, error) {
+	o = o.normalized()
+	pop := o.population()
+	byCfg := o.chipsByConfig(pop)
+	iters := o.Iterations
+	if iters == 0 {
+		iters = 10
+	}
+	fig := &Figure4{HC: 150_000}
+	for _, k := range ConfigKeys() {
+		spec, ok := representative(byCfg[k])
+		if !ok {
+			continue
+		}
+		t, err := newTester(pop, spec)
+		if err != nil {
+			return nil, err
+		}
+		hc := fig.HC
+		if hc > t.MaxHC {
+			hc = t.MaxHC
+		}
+		cov, err := t.MeasureCoverage(hc, iters, o.Stride)
+		if err != nil {
+			return nil, fmt.Errorf("coverage %v: %w", k, err)
+		}
+		worst, wok := cov.WorstPattern()
+		fig.Rows = append(fig.Rows, CoverageRow{
+			Key:        k,
+			Chip:       spec.Name,
+			Coverage:   cov.Coverage,
+			TotalFlips: cov.Total,
+			Worst:      worst,
+			WorstOK:    wok,
+			PaperWorst: chips.WorstPattern(k.Node, k.Mfr),
+		})
+	}
+	return fig, nil
+}
+
+// Table3 derives the worst-case pattern table from Figure 4's data.
+type Table3 struct {
+	Rows []CoverageRow
+}
+
+// RunTable3 measures the worst-case data pattern per configuration.
+func RunTable3(o Options) (*Table3, error) {
+	fig, err := RunFigure4(o)
+	if err != nil {
+		return nil, err
+	}
+	return &Table3{Rows: fig.Rows}, nil
+}
+
+// --- Figure 5 --------------------------------------------------------------
+
+// RateSeries is one configuration's HC → flip-rate curve with its log-log
+// fit (Observation 4).
+type RateSeries struct {
+	Key    ConfigKey
+	Points map[int]float64 // HC → mean rate across chips
+	Slope  float64         // log-log slope
+	R2     float64
+	Chips  int
+}
+
+// Figure5 aggregates rate curves per configuration.
+type Figure5 struct {
+	HCs  []int
+	Rows []RateSeries
+}
+
+// RunFigure5 sweeps the hammer count across chips of every configuration
+// and averages the flip rate per HC (Section 5.3).
+func RunFigure5(o Options) (*Figure5, error) {
+	o = o.normalized()
+	pop := o.population()
+	byCfg := o.chipsByConfig(pop)
+	hcs := charact.DefaultRateHCs()
+	fig := &Figure5{HCs: hcs}
+	for _, k := range ConfigKeys() {
+		specs := byCfg[k]
+		if len(specs) == 0 {
+			continue
+		}
+		sums := make(map[int]float64, len(hcs))
+		n := 0
+		for _, spec := range specs {
+			t, err := newTester(pop, spec)
+			if err != nil {
+				return nil, err
+			}
+			curve, err := t.RateCurve(hcs, o.Stride)
+			if err != nil {
+				return nil, fmt.Errorf("rate curve %v: %w", k, err)
+			}
+			for hc, r := range curve {
+				sums[hc] += r
+			}
+			n++
+		}
+		s := RateSeries{Key: k, Points: make(map[int]float64), Chips: n}
+		var xs, ys []float64
+		for _, hc := range hcs {
+			mean := sums[hc] / float64(n)
+			s.Points[hc] = mean
+			if mean > 0 {
+				xs = append(xs, float64(hc))
+				ys = append(ys, mean)
+			}
+		}
+		if len(xs) >= 2 {
+			if fit, err := stats.FitLogLog(xs, ys); err == nil {
+				s.Slope, s.R2 = fit.Slope, fit.R2
+			}
+		}
+		fig.Rows = append(fig.Rows, s)
+	}
+	return fig, nil
+}
+
+// --- Figure 6 / Figure 7 ---------------------------------------------------
+
+// SpatialRow is one configuration's Figure 6 subplot: mean fraction of
+// flips per victim-relative row offset, with standard deviation across
+// chips.
+type SpatialRow struct {
+	Key      ConfigKey
+	Mean     map[int]float64
+	StdDev   map[int]float64
+	Chips    int
+	TargetHC string // description of the normalization
+}
+
+// Figure6 is the spatial-distribution study.
+type Figure6 struct {
+	TargetRate float64
+	Rows       []SpatialRow
+}
+
+// RunFigure6 normalizes each chip to a flip rate of ~1e-6 (the paper's
+// procedure) and profiles flip locations.
+func RunFigure6(o Options) (*Figure6, error) {
+	o = o.normalized()
+	pop := o.population()
+	byCfg := o.chipsByConfig(pop)
+	fig := &Figure6{TargetRate: 1e-6}
+	for _, k := range ConfigKeys() {
+		specs := byCfg[k]
+		if len(specs) == 0 {
+			continue
+		}
+		perOffset := make(map[int][]float64)
+		n := 0
+		for _, spec := range specs {
+			if !spec.RowHammerable() {
+				continue
+			}
+			t, err := newTester(pop, spec)
+			if err != nil {
+				return nil, err
+			}
+			hc, err := t.HCForRate(fig.TargetRate, o.Stride)
+			if err != nil {
+				return nil, err
+			}
+			sp, err := t.MeasureSpatial(hc, o.Stride)
+			if err != nil {
+				return nil, err
+			}
+			if sp.Total == 0 {
+				continue
+			}
+			for off, f := range sp.Fraction {
+				perOffset[off] = append(perOffset[off], f)
+			}
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		row := SpatialRow{Key: k, Mean: make(map[int]float64), StdDev: make(map[int]float64), Chips: n}
+		for off, fs := range perOffset {
+			// Chips without flips at this offset contribute zero.
+			for len(fs) < n {
+				fs = append(fs, 0)
+			}
+			row.Mean[off] = stats.Mean(fs)
+			row.StdDev[off] = stats.StdDev(fs)
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig, nil
+}
+
+// WordDensityRow is one configuration's Figure 7 subplot.
+type WordDensityRow struct {
+	Key      ConfigKey
+	Fraction [6]float64 // mean fraction of flip-containing words with k flips
+	StdDev   [6]float64
+	Chips    int
+}
+
+// Figure7 is the flips-per-64-bit-word study.
+type Figure7 struct {
+	TargetRate float64
+	Rows       []WordDensityRow
+}
+
+// RunFigure7 measures the flip-density distribution per 64-bit word at
+// the same normalized rate as Figure 6.
+func RunFigure7(o Options) (*Figure7, error) {
+	o = o.normalized()
+	pop := o.population()
+	byCfg := o.chipsByConfig(pop)
+	fig := &Figure7{TargetRate: 1e-6}
+	for _, k := range ConfigKeys() {
+		specs := byCfg[k]
+		var samples [6][]float64
+		n := 0
+		for _, spec := range specs {
+			if !spec.RowHammerable() {
+				continue
+			}
+			t, err := newTester(pop, spec)
+			if err != nil {
+				return nil, err
+			}
+			hc, err := t.HCForRate(fig.TargetRate, o.Stride)
+			if err != nil {
+				return nil, err
+			}
+			wd, err := t.MeasureWordDensity(hc, o.Stride)
+			if err != nil {
+				return nil, err
+			}
+			if wd.Words == 0 {
+				continue
+			}
+			for i := 1; i <= 5; i++ {
+				samples[i] = append(samples[i], wd.Fraction[i])
+			}
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		row := WordDensityRow{Key: k, Chips: n}
+		for i := 1; i <= 5; i++ {
+			row.Fraction[i] = stats.Mean(samples[i])
+			row.StdDev[i] = stats.StdDev(samples[i])
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig, nil
+}
+
+// --- Figure 8 / Table 4 ----------------------------------------------------
+
+// HCFirstRow is one configuration's HCfirst distribution (Figure 8's
+// box-and-whisker) and minimum (Table 4).
+type HCFirstRow struct {
+	Key      ConfigKey
+	Measured []float64 // per RowHammerable chip, in hammers
+	NoFlips  int       // chips with no flips within the sweep
+	Box      stats.BoxPlot
+	MinHC    float64
+	PaperMin float64
+}
+
+// HCFirstStudy is the shared data behind Figure 8 and Table 4.
+type HCFirstStudy struct {
+	Rows []HCFirstRow
+}
+
+// RunHCFirstStudy measures HCfirst for every instantiated chip.
+func RunHCFirstStudy(o Options) (*HCFirstStudy, error) {
+	o = o.normalized()
+	pop := o.population()
+	byCfg := o.chipsByConfig(pop)
+	study := &HCFirstStudy{}
+	for _, k := range ConfigKeys() {
+		specs := byCfg[k]
+		if len(specs) == 0 {
+			continue
+		}
+		row := HCFirstRow{Key: k}
+		row.PaperMin, _ = chips.PaperHCFirst(k.Node, k.Mfr)
+		for _, spec := range specs {
+			t, err := newTester(pop, spec)
+			if err != nil {
+				return nil, err
+			}
+			hc, found, err := t.MeasureHCFirst(charact.HCFirstOptions{Stride: o.Stride})
+			if err != nil {
+				return nil, fmt.Errorf("hcfirst %s: %w", spec.Name, err)
+			}
+			if !found {
+				row.NoFlips++
+				continue
+			}
+			row.Measured = append(row.Measured, float64(hc))
+		}
+		if len(row.Measured) > 0 {
+			box, err := stats.NewBoxPlot(row.Measured)
+			if err != nil {
+				return nil, err
+			}
+			row.Box = box
+			row.MinHC, _ = stats.Min(row.Measured)
+		} else {
+			row.MinHC = math.NaN()
+		}
+		study.Rows = append(study.Rows, row)
+	}
+	return study, nil
+}
+
+// --- Figure 9 --------------------------------------------------------------
+
+// ECCRow is one configuration's Figure 9 bars: mean HC to find the first
+// 64-bit word with 1, 2 and 3 flips, and the multipliers between them.
+type ECCRow struct {
+	Key         ConfigKey
+	MeanHC      [4]float64 // index k = flips per word; [0] unused
+	StdHC       [4]float64
+	Multipliers [3][]float64 // [1]=HC2/HC1, [2]=HC3/HC2 across chips
+	Chips       int
+}
+
+// Figure9 is the ECC-granularity analysis. LPDDR4 chips are excluded, as
+// in the paper (their on-die ECC obfuscates the raw flips).
+type Figure9 struct {
+	Rows []ECCRow
+}
+
+// RunFigure9 computes HCfirst/second/third at 64-bit granularity per
+// configuration.
+func RunFigure9(o Options) (*Figure9, error) {
+	o = o.normalized()
+	pop := o.population()
+	byCfg := o.chipsByConfig(pop)
+	fig := &Figure9{}
+	for _, k := range ConfigKeys() {
+		if k.Node == chips.LPDDR4x || k.Node == chips.LPDDR4y || k.Node == chips.DDR3Old {
+			continue
+		}
+		specs := byCfg[k]
+		var hcs [4][]float64
+		row := ECCRow{Key: k}
+		for _, spec := range specs {
+			if !spec.RowHammerable() {
+				continue
+			}
+			t, err := newTester(pop, spec)
+			if err != nil {
+				return nil, err
+			}
+			a := t.AnalyzeECCWords()
+			for kk := 1; kk <= 3; kk++ {
+				if a.Found[kk] {
+					hcs[kk] = append(hcs[kk], a.HC[kk])
+				}
+			}
+			for kk := 1; kk <= 2; kk++ {
+				if m, ok := a.Multiplier(kk); ok {
+					row.Multipliers[kk] = append(row.Multipliers[kk], m)
+				}
+			}
+			row.Chips++
+		}
+		if row.Chips == 0 {
+			continue
+		}
+		for kk := 1; kk <= 3; kk++ {
+			row.MeanHC[kk] = stats.Mean(hcs[kk])
+			row.StdHC[kk] = stats.StdDev(hcs[kk])
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig, nil
+}
+
+// --- Table 5 ---------------------------------------------------------------
+
+// Table5Row is one configuration's monotonicity percentage.
+type Table5Row struct {
+	Key     ConfigKey
+	Percent float64
+	Cells   int
+}
+
+// Table5 is the flip-probability monotonicity study.
+type Table5 struct {
+	Iterations int
+	Rows       []Table5Row
+}
+
+// RunTable5 measures, per configuration, the share of flipping cells
+// whose flip probability increases monotonically with HC (Section 5.6).
+// Configurations that are not RowHammerable are skipped like the paper's
+// DDR3-old rows.
+func RunTable5(o Options) (*Table5, error) {
+	o = o.normalized()
+	pop := o.population()
+	byCfg := o.chipsByConfig(pop)
+	iters := o.Iterations
+	if iters == 0 {
+		iters = 20
+	}
+	t5 := &Table5{Iterations: iters}
+	for _, k := range ConfigKeys() {
+		if k.Node == chips.DDR3Old {
+			continue
+		}
+		spec, ok := representative(byCfg[k])
+		if !ok || !spec.RowHammerable() {
+			continue
+		}
+		t, err := newTester(pop, spec)
+		if err != nil {
+			return nil, err
+		}
+		m, err := t.MeasureMonotonicity(nil, iters, o.Stride)
+		if err != nil {
+			return nil, fmt.Errorf("monotonicity %v: %w", k, err)
+		}
+		if m.Cells == 0 {
+			continue
+		}
+		t5.Rows = append(t5.Rows, Table5Row{Key: k, Percent: m.Percent(), Cells: m.Cells})
+	}
+	return t5, nil
+}
+
+// --- Tables 7 and 8 --------------------------------------------------------
+
+// ModuleTable reproduces the appendix module tables.
+type ModuleTable struct {
+	Title   string
+	Modules []chips.ModuleSpec
+}
+
+// RunTable7 returns the DDR4 module population.
+func RunTable7() *ModuleTable {
+	return &ModuleTable{Title: "Table 7: DDR4 modules", Modules: chips.DDR4Modules()}
+}
+
+// RunTable8 returns the DDR3 module population.
+func RunTable8() *ModuleTable {
+	return &ModuleTable{Title: "Table 8: DDR3 modules", Modules: chips.DDR3Modules()}
+}
+
+// sortedOffsets returns the keys of an offset map in ascending order.
+func sortedOffsets(m map[int]float64) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

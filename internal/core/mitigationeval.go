@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/mitigation"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// MechanismID names the evaluated mechanisms.
+type MechanismID string
+
+const (
+	MechIncreasedRefresh MechanismID = "IncreasedRefresh"
+	MechPARA             MechanismID = "PARA"
+	MechProHIT           MechanismID = "ProHIT"
+	MechMRLoc            MechanismID = "MRLoc"
+	MechTWiCe            MechanismID = "TWiCe"
+	MechTWiCeIdeal       MechanismID = "TWiCe-ideal"
+	MechIdeal            MechanismID = "Ideal"
+)
+
+// AllMechanisms lists the Figure 10 series in plotting order.
+func AllMechanisms() []MechanismID {
+	return []MechanismID{
+		MechIncreasedRefresh, MechPARA, MechProHIT, MechMRLoc,
+		MechTWiCe, MechTWiCeIdeal, MechIdeal,
+	}
+}
+
+// buildMechanism constructs a mechanism instance for an HCfirst point.
+func buildMechanism(id MechanismID, cfg sim.Config, hcFirst int, seed uint64) (mitigation.Mechanism, error) {
+	p := cfg.MitigationParams(hcFirst, seed)
+	switch id {
+	case MechIncreasedRefresh:
+		return mitigation.NewIncreasedRefresh(p)
+	case MechPARA:
+		return mitigation.NewPARA(p, cfg.T.TCKPS)
+	case MechProHIT:
+		return mitigation.NewProHIT(p)
+	case MechMRLoc:
+		return mitigation.NewMRLoc(p)
+	case MechTWiCe:
+		return mitigation.NewTWiCe(p, false)
+	case MechTWiCeIdeal:
+		return mitigation.NewTWiCe(p, true)
+	case MechIdeal:
+		return mitigation.NewIdeal(p)
+	default:
+		return nil, fmt.Errorf("core: unknown mechanism %q", id)
+	}
+}
+
+// hcPointsFor returns the HCfirst sweep points a mechanism is evaluated
+// at, following Section 6.2.2: ProHIT and MRLoc only at their published
+// 2k point; Increased Refresh and real TWiCe only at ≥32k; PARA,
+// TWiCe-ideal and Ideal across the whole sweep.
+func hcPointsFor(id MechanismID, sweep []int) []int {
+	var out []int
+	for _, hc := range sweep {
+		switch id {
+		case MechProHIT, MechMRLoc:
+			if hc == 2000 {
+				out = append(out, hc)
+			}
+		case MechIncreasedRefresh, MechTWiCe:
+			if hc >= 32_000 {
+				out = append(out, hc)
+			}
+		case MechTWiCeIdeal:
+			if hc < 32_000 {
+				out = append(out, hc)
+			}
+		default:
+			out = append(out, hc)
+		}
+	}
+	return out
+}
+
+// DefaultHCSweep is the Figure 10 x-axis: 200k down to 64, including the
+// ProHIT/MRLoc 2k point and the chips' minimum HCfirst values.
+func DefaultHCSweep() []int {
+	return []int{200_000, 100_000, 64_000, 32_000, 16_000, 8_000, 4_800,
+		2_000, 1_024, 512, 256, 128, 64}
+}
+
+// MitigationOptions scales the Figure 10 evaluation.
+type MitigationOptions struct {
+	Mixes        int   // number of multi-programmed mixes (paper: 48)
+	Cores        int   // cores per mix (paper: 8)
+	TraceRecords int   // memory records per trace
+	WarmupInsts  int64 // per core
+	MeasureInsts int64 // per core
+	HCSweep      []int
+	Mechanisms   []MechanismID
+	Parallelism  int // concurrent simulations; 0 = GOMAXPROCS
+	Seed         uint64
+}
+
+// DefaultMitigationOptions is a CLI-scale configuration. The paper
+// simulates 200M instructions per core over 48 mixes; these defaults keep
+// the same structure at tractable cost.
+func DefaultMitigationOptions() MitigationOptions {
+	return MitigationOptions{
+		Mixes:        48,
+		Cores:        8,
+		TraceRecords: 4_000,
+		WarmupInsts:  5_000,
+		MeasureInsts: 50_000,
+		HCSweep:      DefaultHCSweep(),
+		Mechanisms:   AllMechanisms(),
+		Seed:         1,
+	}
+}
+
+func (o MitigationOptions) normalized() MitigationOptions {
+	if o.Mixes <= 0 {
+		o.Mixes = 48
+	}
+	if o.Cores <= 0 {
+		o.Cores = 8
+	}
+	if o.TraceRecords <= 0 {
+		o.TraceRecords = 4_000
+	}
+	if o.MeasureInsts <= 0 {
+		o.MeasureInsts = 50_000
+	}
+	if len(o.HCSweep) == 0 {
+		o.HCSweep = DefaultHCSweep()
+	}
+	if len(o.Mechanisms) == 0 {
+		o.Mechanisms = AllMechanisms()
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// F10Point is one (mechanism, HCfirst) point of Figure 10, aggregated
+// across mixes.
+type F10Point struct {
+	Mechanism MechanismID
+	HCFirst   int
+	Viable    bool
+
+	// NormPerf is Figure 10b: weighted speedup normalized to the
+	// no-mitigation baseline, in percent (mean / min / max across mixes).
+	NormPerf, NormPerfMin, NormPerfMax float64
+
+	// Overhead is Figure 10a: DRAM bandwidth overhead percent.
+	Overhead, OverheadMin, OverheadMax float64
+}
+
+// Figure10 is the full mitigation evaluation.
+type Figure10 struct {
+	Points   []F10Point
+	Mixes    int
+	MixMPKIs []float64 // aggregate MPKI per mix on the baseline
+}
+
+// RunFigure10 evaluates every mechanism at every applicable HCfirst
+// across the workload mixes. Baseline (no-mitigation) and single-core
+// alone runs are shared across mechanisms.
+func RunFigure10(o MitigationOptions) (*Figure10, error) {
+	o = o.normalized()
+	cfg := sim.Table6Config(o.WarmupInsts, o.MeasureInsts)
+	mixes := trace.Mixes(o.Mixes, o.Cores, o.TraceRecords, o.Seed)
+
+	// Phase 1: per-mix baselines (parallel over mixes).
+	baselines := make([]mixBaseline, len(mixes))
+	alones := make([][]float64, len(mixes))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, o.Parallelism)
+	errs := make([]error, len(mixes))
+	for i := range mixes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			alone, err := sim.RunAlone(cfg, mixes[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res, err := sim.Run(cfg, mixes[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ws, err := sim.WeightedSpeedup(res.IPC, alone)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			alones[i] = alone
+			baselines[i] = mixBaseline{ws: ws, mpki: res.MPKI}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	fig := &Figure10{Mixes: len(mixes)}
+	for _, b := range baselines {
+		fig.MixMPKIs = append(fig.MixMPKIs, b.mpki)
+	}
+
+	// Phase 2: mechanism sweep.
+	type job struct {
+		mech MechanismID
+		hc   int
+	}
+	var jobs []job
+	for _, id := range o.Mechanisms {
+		for _, hc := range hcPointsFor(id, o.HCSweep) {
+			jobs = append(jobs, job{mech: id, hc: hc})
+		}
+	}
+	points := make([]F10Point, len(jobs))
+	jobErrs := make([]error, len(jobs))
+	for ji, jb := range jobs {
+		wg.Add(1)
+		go func(ji int, jb job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pt, err := runPoint(cfg, o, jb.mech, jb.hc, mixes, alones, baselines)
+			if err != nil {
+				jobErrs[ji] = err
+				return
+			}
+			points[ji] = *pt
+		}(ji, jb)
+	}
+	wg.Wait()
+	for _, err := range jobErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	fig.Points = points
+	sort.SliceStable(fig.Points, func(i, j int) bool {
+		if fig.Points[i].Mechanism != fig.Points[j].Mechanism {
+			return fig.Points[i].Mechanism < fig.Points[j].Mechanism
+		}
+		return fig.Points[i].HCFirst > fig.Points[j].HCFirst
+	})
+	return fig, nil
+}
+
+// mixBaseline caches one mix's no-mitigation weighted speedup and MPKI.
+type mixBaseline struct {
+	ws   float64
+	mpki float64
+}
+
+// runPoint evaluates one (mechanism, HCfirst) across all mixes.
+func runPoint(cfg sim.Config, o MitigationOptions, id MechanismID, hc int,
+	mixes []trace.Mix, alones [][]float64, baselines []mixBaseline,
+) (*F10Point, error) {
+	var perfs, overheads []float64
+	viable := true
+	for i := range mixes {
+		mech, err := buildMechanism(id, cfg, hc, o.Seed+uint64(i)*7919)
+		if err != nil {
+			return nil, err
+		}
+		if v, ok := mech.(mitigation.Viability); ok && !v.Viable() {
+			viable = false
+		}
+		runCfg := cfg
+		runCfg.Mechanism = mech
+		res, err := sim.Run(runCfg, mixes[i])
+		if err != nil {
+			return nil, fmt.Errorf("%s hc=%d mix=%s: %w", id, hc, mixes[i].Name, err)
+		}
+		ws, err := sim.WeightedSpeedup(res.IPC, alones[i])
+		if err != nil {
+			return nil, err
+		}
+		perfs = append(perfs, 100*ws/baselines[i].ws)
+		overheads = append(overheads, res.BandwidthOverheadPct)
+	}
+	pt := &F10Point{Mechanism: id, HCFirst: hc, Viable: viable}
+	pt.NormPerf = stats.Mean(perfs)
+	pt.NormPerfMin, _ = stats.Min(perfs)
+	pt.NormPerfMax, _ = stats.Max(perfs)
+	pt.Overhead = stats.Mean(overheads)
+	pt.OverheadMin, _ = stats.Min(overheads)
+	pt.OverheadMax, _ = stats.Max(overheads)
+	return pt, nil
+}
+
+// PointsFor filters Figure 10's points for one mechanism, sorted by
+// descending HCfirst (the paper's left-to-right x-axis).
+func (f *Figure10) PointsFor(id MechanismID) []F10Point {
+	var out []F10Point
+	for _, p := range f.Points {
+		if p.Mechanism == id {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].HCFirst > out[j].HCFirst })
+	return out
+}

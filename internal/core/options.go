@@ -1,0 +1,120 @@
+// Package core orchestrates the paper's experiments: it iterates chip
+// populations through the charact measurement primitives and the sim
+// mitigation harness, aggregates per-configuration statistics, and
+// formats each of the paper's tables and figures (DESIGN.md §5).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chips"
+	"repro/internal/faultmodel"
+)
+
+// Options scales the characterization experiments.
+type Options struct {
+	// Scale is the chip geometry / instantiation cap (chips.ScaleTiny …
+	// chips.ScaleFull).
+	Scale chips.Scale
+	// Modules is the population; nil means chips.AllModules().
+	Modules []chips.ModuleSpec
+	// Stride samples victim rows in full-chip sweeps (1 = every row).
+	Stride int
+	// MaxChipsPerConfig caps instantiated chips per (type-node, mfr)
+	// pair in heavy experiments; 0 = no cap.
+	MaxChipsPerConfig int
+	// Iterations for repeated-measurement experiments (Figure 4's 10,
+	// Table 5's 20); 0 keeps each experiment's default.
+	Iterations int
+	Seed       uint64
+}
+
+// DefaultOptions is a medium-cost configuration suitable for CLI runs.
+func DefaultOptions() Options {
+	return Options{
+		Scale:             chips.ScaleSmall,
+		Stride:            1,
+		MaxChipsPerConfig: 4,
+		Seed:              1,
+	}
+}
+
+func (o Options) normalized() Options {
+	if o.Scale.Rows == 0 {
+		o.Scale = chips.ScaleSmall
+	}
+	if o.Modules == nil {
+		o.Modules = chips.AllModules()
+	}
+	if o.Stride < 1 {
+		o.Stride = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// ConfigKey identifies one cell of the paper's per-configuration tables.
+type ConfigKey struct {
+	Node chips.TypeNode
+	Mfr  string
+}
+
+func (k ConfigKey) String() string { return fmt.Sprintf("%v/Mfr.%s", k.Node, k.Mfr) }
+
+// ConfigKeys lists the populated configurations in the paper's order.
+func ConfigKeys() []ConfigKey {
+	var keys []ConfigKey
+	for _, tn := range chips.TypeNodes {
+		for _, mfr := range chips.Manufacturers {
+			if chips.HasConfiguration(tn, mfr) {
+				keys = append(keys, ConfigKey{Node: tn, Mfr: mfr})
+			}
+		}
+	}
+	return keys
+}
+
+// population builds the (possibly capped) chip population.
+func (o Options) population() *chips.Population {
+	return chips.NewPopulation(o.Modules, o.Scale, o.Seed)
+}
+
+// chipsByConfig groups population chips per configuration, capped at
+// MaxChipsPerConfig keeping the weakest chips first (the paper's
+// representative chips are the interesting, flippable ones).
+func (o Options) chipsByConfig(pop *chips.Population) map[ConfigKey][]chips.ChipSpec {
+	m := make(map[ConfigKey][]chips.ChipSpec)
+	for _, c := range pop.Chips {
+		k := ConfigKey{Node: c.Node, Mfr: c.Mfr}
+		m[k] = append(m[k], c)
+	}
+	for k, list := range m {
+		sort.Slice(list, func(i, j int) bool { return list[i].HCFirst < list[j].HCFirst })
+		if o.MaxChipsPerConfig > 0 && len(list) > o.MaxChipsPerConfig {
+			list = list[:o.MaxChipsPerConfig]
+		}
+		m[k] = list
+	}
+	return m
+}
+
+// representative returns the chip the per-chip figures use: the weakest
+// (most RowHammerable) chip of the configuration.
+func representative(specs []chips.ChipSpec) (chips.ChipSpec, bool) {
+	if len(specs) == 0 {
+		return chips.ChipSpec{}, false
+	}
+	best := specs[0]
+	for _, s := range specs[1:] {
+		if s.HCFirst < best.HCFirst {
+			best = s
+		}
+	}
+	return best, true
+}
+
+// patternName renders a pattern like the paper's tables ("RowStripe0").
+func patternName(p faultmodel.Pattern) string { return p.String() }

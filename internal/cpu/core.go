@@ -1,0 +1,154 @@
+// Package cpu implements the paper's simple core model (Table 6: 4 GHz,
+// 4-wide issue, 128-entry instruction window): trace-driven in-order
+// cores whose memory-level parallelism is bounded by the instruction
+// window, the standard Ramulator CPU front end.
+package cpu
+
+import (
+	"errors"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// Config sizes one core.
+type Config struct {
+	IssueWidth int // instructions retired/issued per cycle
+	WindowSize int // in-flight instruction window entries
+}
+
+// Table6Config returns the paper's core parameters.
+func Table6Config() Config { return Config{IssueWidth: 4, WindowSize: 128} }
+
+// Core replays one trace through the shared LLC. Non-memory instructions
+// complete immediately; loads occupy a window slot until data returns;
+// stores retire as soon as the cache accepts them.
+type Core struct {
+	ID  int
+	cfg Config
+
+	trc    *trace.Trace
+	pos    int
+	pass   int64
+	offset int64 // current pass's address offset
+
+	// Instruction window: a ring of done flags. seqHead is the sequence
+	// number of the oldest in-flight instruction.
+	done    []bool
+	seqHead int64
+	inFlite int
+
+	gapLeft   int
+	recLoaded bool
+	rec       trace.Record
+
+	llc *cache.Cache
+
+	Retired int64
+	Cycles  int64
+	stalled int64 // cycles with zero issue due to back-pressure
+}
+
+// New builds a core over the shared cache.
+func New(id int, cfg Config, trc *trace.Trace, llc *cache.Cache) (*Core, error) {
+	if cfg.IssueWidth <= 0 || cfg.WindowSize <= 0 {
+		return nil, errors.New("cpu: issue width and window size must be positive")
+	}
+	if trc == nil || len(trc.Records) == 0 {
+		return nil, errors.New("cpu: empty trace")
+	}
+	return &Core{
+		ID:   id,
+		cfg:  cfg,
+		trc:  trc,
+		done: make([]bool, cfg.WindowSize),
+		llc:  llc,
+	}, nil
+}
+
+// IPC returns retired instructions per cycle so far.
+func (c *Core) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Retired) / float64(c.Cycles)
+}
+
+// StallCycles returns cycles in which the core could not issue anything.
+func (c *Core) StallCycles() int64 { return c.stalled }
+
+// ResetStats zeroes retirement statistics (end of warmup) without
+// disturbing the pipeline state.
+func (c *Core) ResetStats() {
+	c.Retired = 0
+	c.Cycles = 0
+	c.stalled = 0
+}
+
+func (c *Core) slot(seq int64) int { return int(seq % int64(len(c.done))) }
+
+// Tick advances the core one CPU cycle: retire up to IssueWidth done
+// instructions from the window head, then issue up to IssueWidth new ones.
+func (c *Core) Tick() {
+	c.Cycles++
+
+	// Retire.
+	for i := 0; i < c.cfg.IssueWidth && c.inFlite > 0; i++ {
+		s := c.slot(c.seqHead)
+		if !c.done[s] {
+			break
+		}
+		c.done[s] = false
+		c.seqHead++
+		c.inFlite--
+		c.Retired++
+	}
+
+	// Issue.
+	issued := 0
+	for issued < c.cfg.IssueWidth && c.inFlite < len(c.done) {
+		if !c.recLoaded {
+			c.rec = c.trc.Records[c.pos]
+			c.rec.Addr += c.offset
+			c.pos++
+			if c.pos == len(c.trc.Records) {
+				// Traces replay cyclically; each pass shifts its address
+				// window so short traces model full-length ones.
+				c.pos = 0
+				c.pass++
+				c.offset = c.trc.PassOffset(c.pass)
+			}
+			c.gapLeft = c.rec.Gap
+			c.recLoaded = true
+		}
+		if c.gapLeft > 0 {
+			// Non-memory instruction: completes immediately.
+			c.done[c.slot(c.seqHead+int64(c.inFlite))] = true
+			c.inFlite++
+			c.gapLeft--
+			issued++
+			continue
+		}
+		// Memory instruction.
+		if c.rec.Write {
+			if !c.llc.Write(c.ID, c.rec.Addr) {
+				break // back-pressure: retry next cycle
+			}
+			c.done[c.slot(c.seqHead+int64(c.inFlite))] = true
+			c.inFlite++
+		} else {
+			seq := c.seqHead + int64(c.inFlite)
+			s := c.slot(seq)
+			c.done[s] = false // before Read: the callback may fire any time after
+			if !c.llc.Read(c.ID, c.rec.Addr, func() { c.done[s] = true }) {
+				break
+			}
+			c.inFlite++
+		}
+		c.recLoaded = false
+		issued++
+	}
+	if issued == 0 && c.inFlite > 0 {
+		c.stalled++
+	}
+}

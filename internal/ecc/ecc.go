@@ -1,0 +1,228 @@
+// Package ecc implements the single-error-correcting Hamming codes the
+// paper's analysis depends on: the 64-bit-granularity rank-level codes of
+// Section 5.5 / Figure 9 and the 128-bit on-die LPDDR4 code of
+// Observation 9 / Table 5.
+//
+// The decoder is a real syndrome decoder, so its behaviour on multi-bit
+// errors is the genuine "undefined" behaviour the paper describes: it may
+// correct one of the flips, do nothing, or miscorrect an error-free bit.
+package ecc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Code is a binary Hamming single-error-correcting code over k data bits
+// with r parity bits, stored as a (k+r)-bit codeword. Bit positions in the
+// codeword are numbered 1..n (the classic Hamming arrangement): positions
+// that are powers of two hold parity bits, the rest hold data bits in
+// ascending order.
+type Code struct {
+	k int // data bits
+	r int // parity bits
+	n int // codeword bits = k + r
+
+	dataPos []int // codeword position (1-based) of each data bit
+	parPos  []int // codeword position (1-based) of each parity bit
+	posKind []int // index 1..n: data index (>=0) or -(parity index)-1
+}
+
+// New constructs a Hamming SEC code for k data bits. It returns an error
+// if k is not positive.
+func New(k int) (*Code, error) {
+	if k <= 0 {
+		return nil, errors.New("ecc: data width must be positive")
+	}
+	r := 0
+	for (1 << r) < k+r+1 {
+		r++
+	}
+	c := &Code{k: k, r: r, n: k + r}
+	c.posKind = make([]int, c.n+1)
+	di := 0
+	for pos := 1; pos <= c.n; pos++ {
+		if pos&(pos-1) == 0 { // power of two → parity
+			c.posKind[pos] = -len(c.parPos) - 1
+			c.parPos = append(c.parPos, pos)
+		} else {
+			c.dataPos = append(c.dataPos, pos)
+			c.posKind[pos] = di
+			di++
+		}
+	}
+	return c, nil
+}
+
+// MustNew is New for statically-known widths; it panics on error.
+func MustNew(k int) *Code {
+	c, err := New(k)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// DataBits returns k, the number of data bits per codeword.
+func (c *Code) DataBits() int { return c.k }
+
+// ParityBits returns r, the number of parity bits per codeword.
+func (c *Code) ParityBits() int { return c.r }
+
+// CodewordBits returns n = k + r.
+func (c *Code) CodewordBits() int { return c.n }
+
+// Encode computes the codeword for the given data bits. data must hold at
+// least k entries; each entry is 0 or 1. The result has n entries indexed
+// 0..n-1 (codeword position minus one).
+func (c *Code) Encode(data []byte) ([]byte, error) {
+	if len(data) < c.k {
+		return nil, fmt.Errorf("ecc: need %d data bits, got %d", c.k, len(data))
+	}
+	cw := make([]byte, c.n)
+	for i, pos := range c.dataPos {
+		cw[pos-1] = data[i] & 1
+	}
+	for _, ppos := range c.parPos {
+		var p byte
+		for pos := 1; pos <= c.n; pos++ {
+			if pos&ppos != 0 && pos != ppos {
+				p ^= cw[pos-1]
+			}
+		}
+		cw[ppos-1] = p
+	}
+	return cw, nil
+}
+
+// Action describes what the decoder did to a codeword.
+type Action int
+
+const (
+	// NoError means the syndrome was zero: nothing changed.
+	NoError Action = iota
+	// Corrected means the syndrome pointed at a bit inside the codeword,
+	// which was flipped back. For a single-bit error this is a true
+	// correction; for multi-bit errors it may be a miscorrection.
+	Corrected
+	// Detected means the syndrome pointed outside the codeword: the
+	// decoder knows something is wrong but changes nothing.
+	Detected
+)
+
+func (a Action) String() string {
+	switch a {
+	case NoError:
+		return "no-error"
+	case Corrected:
+		return "corrected"
+	case Detected:
+		return "detected"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Decode computes the syndrome of cw (length n), applies the Hamming
+// correction rule in place, and returns the recovered data bits plus the
+// action taken. Multi-bit errors yield genuinely undefined-but-
+// deterministic behaviour: whatever bit the aliased syndrome points at is
+// flipped (possibly an error-free one), exactly as real on-die SEC logic
+// behaves.
+func (c *Code) Decode(cw []byte) (data []byte, action Action, err error) {
+	if len(cw) < c.n {
+		return nil, NoError, fmt.Errorf("ecc: need %d codeword bits, got %d", c.n, len(cw))
+	}
+	syndrome := 0
+	for pos := 1; pos <= c.n; pos++ {
+		if cw[pos-1]&1 == 1 {
+			syndrome ^= pos
+		}
+	}
+	switch {
+	case syndrome == 0:
+		action = NoError
+	case syndrome <= c.n:
+		cw[syndrome-1] ^= 1
+		action = Corrected
+	default:
+		action = Detected
+	}
+	data = make([]byte, c.k)
+	for i, pos := range c.dataPos {
+		data[i] = cw[pos-1] & 1
+	}
+	return data, action, nil
+}
+
+// DecodeFlips is the fault-model fast path. The stored codeword is the
+// correct encoding of known data with the raw cell flips listed in
+// rawFlips (0-based codeword bit indices). It returns the 0-based *data*
+// bit indices that remain wrong after decoding — i.e. the flips the system
+// observes through the ECC.
+//
+// This avoids materializing whole codewords when only a handful of cells
+// flipped, which is what makes full-chip characterization tractable.
+func (c *Code) DecodeFlips(rawFlips []int) (observedDataFlips []int, action Action, err error) {
+	syndrome := 0
+	for _, f := range rawFlips {
+		if f < 0 || f >= c.n {
+			return nil, NoError, fmt.Errorf("ecc: flip index %d out of range [0,%d)", f, c.n)
+		}
+		syndrome ^= f + 1
+	}
+	// Set of flipped positions after the correction step.
+	post := make(map[int]bool, len(rawFlips)+1)
+	for _, f := range rawFlips {
+		post[f+1] = !post[f+1] // duplicate flips cancel
+	}
+	switch {
+	case syndrome == 0:
+		action = NoError
+	case syndrome <= c.n:
+		post[syndrome] = !post[syndrome]
+		action = Corrected
+	default:
+		action = Detected
+	}
+	for pos, flipped := range post {
+		if !flipped {
+			continue
+		}
+		if di := c.posKind[pos]; di >= 0 {
+			observedDataFlips = append(observedDataFlips, di)
+		}
+	}
+	return observedDataFlips, action, nil
+}
+
+// DataPosition returns the 0-based codeword bit index that stores data
+// bit i.
+func (c *Code) DataPosition(i int) int { return c.dataPos[i] - 1 }
+
+// ParityPosition returns the 0-based codeword bit index that stores
+// parity bit j.
+func (c *Code) ParityPosition(j int) int { return c.parPos[j] - 1 }
+
+// ParityFor computes the r parity bits for the given data bits.
+func (c *Code) ParityFor(data []byte) ([]byte, error) {
+	cw, err := c.Encode(data)
+	if err != nil {
+		return nil, err
+	}
+	par := make([]byte, c.r)
+	for j, pos := range c.parPos {
+		par[j] = cw[pos-1]
+	}
+	return par, nil
+}
+
+// Standard code widths used by the paper.
+var (
+	// SEC64 is the 64-bit-data rank-level code of Section 5.5 (Figure 9's
+	// analysis granularity): (71,64) Hamming, 7 parity bits.
+	SEC64 = MustNew(64)
+	// SEC128 is the LPDDR4 on-die code: a 128-bit single-error-correcting
+	// code ((136,128) Hamming, 8 parity bits).
+	SEC128 = MustNew(128)
+)

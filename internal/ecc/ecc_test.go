@@ -1,0 +1,280 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestCodeDimensions(t *testing.T) {
+	cases := []struct{ k, r int }{
+		{4, 3}, {11, 4}, {64, 7}, {128, 8},
+	}
+	for _, c := range cases {
+		code, err := New(c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code.ParityBits() != c.r {
+			t.Errorf("k=%d: parity = %d, want %d", c.k, code.ParityBits(), c.r)
+		}
+		if code.CodewordBits() != c.k+c.r {
+			t.Errorf("k=%d: n = %d", c.k, code.CodewordBits())
+		}
+	}
+	if _, err := New(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func randomData(rng *stats.RNG, k int) []byte {
+	d := make([]byte, k)
+	for i := range d {
+		if rng.Bool() {
+			d[i] = 1
+		}
+	}
+	return d
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(1)
+	for _, code := range []*Code{SEC64, SEC128, MustNew(8)} {
+		for trial := 0; trial < 50; trial++ {
+			data := randomData(rng, code.DataBits())
+			cw, err := code.Encode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, action, err := code.Decode(cw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if action != NoError {
+				t.Fatalf("clean codeword decoded with action %v", action)
+			}
+			for i := range data {
+				if got[i] != data[i] {
+					t.Fatalf("round trip bit %d mismatch", i)
+				}
+			}
+		}
+	}
+}
+
+func TestSingleBitErrorAlwaysCorrected(t *testing.T) {
+	rng := stats.NewRNG(2)
+	for _, code := range []*Code{SEC64, SEC128} {
+		data := randomData(rng, code.DataBits())
+		for pos := 0; pos < code.CodewordBits(); pos++ {
+			cw, err := code.Encode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cw[pos] ^= 1
+			got, action, err := code.Decode(cw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if action != Corrected {
+				t.Fatalf("flip at %d: action %v, want corrected", pos, action)
+			}
+			for i := range data {
+				if got[i] != data[i] {
+					t.Fatalf("flip at %d not corrected", pos)
+				}
+			}
+		}
+	}
+}
+
+func TestSingleBitCorrectionProperty(t *testing.T) {
+	// Property (testing/quick): for random data and a random single
+	// flipped bit, SEC64 recovers the data exactly.
+	f := func(seed uint64, posRaw uint) bool {
+		rng := stats.NewRNG(seed)
+		data := randomData(rng, 64)
+		cw, err := SEC64.Encode(data)
+		if err != nil {
+			return false
+		}
+		pos := int(posRaw % uint(SEC64.CodewordBits()))
+		cw[pos] ^= 1
+		got, action, err := SEC64.Decode(cw)
+		if err != nil || action != Corrected {
+			return false
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDoubleBitErrorMisbehaves(t *testing.T) {
+	// Two flips exceed SEC correction: the decoder must take *some*
+	// non-trivial action (Section 5.4: correct one, do nothing, or
+	// miscorrect) and the result must differ from the original data.
+	rng := stats.NewRNG(3)
+	data := randomData(rng, 128)
+	cw, err := SEC128.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw[3] ^= 1
+	cw[40] ^= 1
+	got, action, err := SEC128.Decode(cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if action == NoError {
+		t.Error("double error produced zero syndrome")
+	}
+	diff := 0
+	for i := range data {
+		if got[i] != data[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("double error silently corrected — impossible for SEC")
+	}
+}
+
+func TestDecodeFlipsMatchesDecode(t *testing.T) {
+	// Property: DecodeFlips (the fault-model fast path) must agree with
+	// a full Decode on which data bits remain wrong.
+	rng := stats.NewRNG(4)
+	for trial := 0; trial < 200; trial++ {
+		code := SEC128
+		data := randomData(rng, code.DataBits())
+		cw, err := code.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nFlips := 1 + rng.Intn(4)
+		flipSet := map[int]bool{}
+		for len(flipSet) < nFlips {
+			flipSet[rng.Intn(code.CodewordBits())] = true
+		}
+		var flips []int
+		for f := range flipSet {
+			cw[f] ^= 1
+			flips = append(flips, f)
+		}
+		got, actionFull, err := code.Decode(cw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wantWrong []int
+		for i := range data {
+			if got[i] != data[i] {
+				wantWrong = append(wantWrong, i)
+			}
+		}
+		fastWrong, actionFast, err := code.DecodeFlips(flips)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if actionFull != actionFast {
+			t.Fatalf("action mismatch: %v vs %v (flips %v)", actionFull, actionFast, flips)
+		}
+		if len(fastWrong) != len(wantWrong) {
+			t.Fatalf("wrong-bit count mismatch: fast %v vs full %v", fastWrong, wantWrong)
+		}
+		wrongSet := map[int]bool{}
+		for _, w := range wantWrong {
+			wrongSet[w] = true
+		}
+		for _, w := range fastWrong {
+			if !wrongSet[w] {
+				t.Fatalf("fast path reported bit %d, full path %v", w, wantWrong)
+			}
+		}
+	}
+}
+
+func TestDecodeFlipsSingleRawFlipHidden(t *testing.T) {
+	// A single raw flip anywhere must be invisible after decode — the
+	// mechanism behind LPDDR4's masked singles (Observation 9).
+	for pos := 0; pos < SEC128.CodewordBits(); pos++ {
+		wrong, action, err := SEC128.DecodeFlips([]int{pos})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if action != Corrected {
+			t.Fatalf("pos %d: action %v", pos, action)
+		}
+		if len(wrong) != 0 {
+			t.Fatalf("pos %d: observed flips %v, want none", pos, wrong)
+		}
+	}
+}
+
+func TestDecodeFlipsValidation(t *testing.T) {
+	if _, _, err := SEC64.DecodeFlips([]int{-1}); err == nil {
+		t.Error("negative flip index accepted")
+	}
+	if _, _, err := SEC64.DecodeFlips([]int{SEC64.CodewordBits()}); err == nil {
+		t.Error("out-of-range flip index accepted")
+	}
+}
+
+func TestPositionsInvertible(t *testing.T) {
+	seen := map[int]bool{}
+	for i := 0; i < SEC128.DataBits(); i++ {
+		p := SEC128.DataPosition(i)
+		if seen[p] {
+			t.Fatalf("duplicate codeword position %d", p)
+		}
+		seen[p] = true
+	}
+	for j := 0; j < SEC128.ParityBits(); j++ {
+		p := SEC128.ParityPosition(j)
+		if seen[p] {
+			t.Fatalf("parity position %d collides", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != SEC128.CodewordBits() {
+		t.Fatalf("positions cover %d of %d bits", len(seen), SEC128.CodewordBits())
+	}
+}
+
+func TestEncodeShortDataRejected(t *testing.T) {
+	if _, err := SEC64.Encode(make([]byte, 10)); err == nil {
+		t.Error("short data accepted")
+	}
+	if _, _, err := SEC64.Decode(make([]byte, 10)); err == nil {
+		t.Error("short codeword accepted")
+	}
+}
+
+func TestParityForStability(t *testing.T) {
+	data := make([]byte, 128)
+	for i := range data {
+		data[i] = byte((0x55 >> (uint(i) & 7)) & 1)
+	}
+	p1, err := SEC128.ParityFor(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := SEC128.ParityFor(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("parity not deterministic")
+		}
+	}
+	if len(p1) != 8 {
+		t.Fatalf("parity width %d, want 8", len(p1))
+	}
+}

@@ -1,0 +1,289 @@
+package faultmodel
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+)
+
+// testConfig returns a small, fast chip configuration.
+func testConfig() Config {
+	return Config{
+		Name: "test", Type: dram.DDR4, Node: "new", Mfr: "A",
+		Banks: 1, Rows: 256, RowBits: 1024,
+		HCFirst: 10_000, Rate150k: 1e-4,
+		WorstPattern: RowStripe0,
+		Seed:         42,
+	}
+}
+
+func mustChip(t *testing.T, cfg Config) *Chip {
+	t.Helper()
+	c, err := NewChip(cfg)
+	if err != nil {
+		t.Fatalf("NewChip: %v", err)
+	}
+	return c
+}
+
+func TestNewChipValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero banks", func(c *Config) { c.Banks = 0 }},
+		{"zero rows", func(c *Config) { c.Rows = 0 }},
+		{"zero row bits", func(c *Config) { c.RowBits = 0 }},
+		{"zero hcfirst", func(c *Config) { c.HCFirst = 0 }},
+		{"bad pattern", func(c *Config) { c.WorstPattern = NumPatterns }},
+		{"ecc non-multiple", func(c *Config) { c.OnDieECC = true; c.RowBits = 100 }},
+		{"paired odd rows", func(c *Config) { c.PairedWordlines = true; c.Rows = 255 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig()
+			tc.mutate(&cfg)
+			if _, err := NewChip(cfg); err == nil {
+				t.Fatalf("want error for %s, got none", tc.name)
+			}
+		})
+	}
+}
+
+func TestWeakestCellCalibration(t *testing.T) {
+	c := mustChip(t, testConfig())
+	min, ok := c.MinThreshold(c.Config().WorstPattern)
+	if !ok {
+		t.Fatal("no eligible cells under the worst pattern")
+	}
+	if min != c.Config().HCFirst {
+		t.Fatalf("weakest eligible threshold = %v, want exactly HCFirst %v", min, c.Config().HCFirst)
+	}
+	// Under every other pattern the minimum must be at least HCFirst.
+	for p := Pattern(0); p < NumPatterns; p++ {
+		if m, ok := c.MinThreshold(p); ok && m < c.Config().HCFirst {
+			t.Fatalf("pattern %v min threshold %v < HCFirst", p, m)
+		}
+	}
+}
+
+func TestDoubleSidedHammerFlipsAboveThreshold(t *testing.T) {
+	c := mustChip(t, testConfig())
+	c.WriteAll(c.Config().WorstPattern)
+
+	// Find the weakest cell's row via the analytic API.
+	var weakRow int
+	best := 1e18
+	c.ForEachCell(func(ci CellInfo) {
+		if ci.Threshold < best {
+			best = ci.Threshold
+			weakRow = ci.Row
+		}
+	})
+
+	lo, hi, ok := c.AggressorsFor(weakRow)
+	if !ok {
+		t.Fatalf("no aggressors for row %d", weakRow)
+	}
+
+	hammer := func(hc int) int {
+		c.BeginTest(uint64(hc))
+		if err := c.Activate(0, lo, hc); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Activate(0, hi, hc); err != nil {
+			t.Fatal(err)
+		}
+		return len(c.ObservedFlips(0, weakRow))
+	}
+
+	if n := hammer(3 * int(c.Config().HCFirst)); n == 0 {
+		t.Errorf("no flips at 3×HCFirst hammers")
+	}
+	if n := hammer(int(c.Config().HCFirst) / 4); n != 0 {
+		t.Errorf("got %d flips at HCFirst/4 hammers, want 0", n)
+	}
+}
+
+func TestAggressorRowsAreImmune(t *testing.T) {
+	c := mustChip(t, testConfig())
+	c.WriteAll(c.Config().WorstPattern)
+	c.BeginTest(1)
+	// Hammer rows 10 and 12 (victim 11): neither aggressor may flip.
+	if err := c.Activate(0, 10, 500_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Activate(0, 12, 500_000); err != nil {
+		t.Fatal(err)
+	}
+	if flips := c.ObservedFlips(0, 10); len(flips) != 0 {
+		t.Errorf("aggressor row 10 has %d flips, want 0", len(flips))
+	}
+	if flips := c.ObservedFlips(0, 12); len(flips) != 0 {
+		t.Errorf("aggressor row 12 has %d flips, want 0", len(flips))
+	}
+}
+
+func TestEvenOffsetsOnly(t *testing.T) {
+	cfg := testConfig()
+	cfg.Rate150k = 1e-3 // dense, to populate neighbours
+	cfg.W3 = 0.35
+	cfg.W5 = 0.2
+	c := mustChip(t, cfg)
+	c.WriteAll(c.Config().WorstPattern)
+
+	victim := 100
+	c.BeginTest(7)
+	for _, agg := range []int{victim - 1, victim + 1} {
+		if err := c.Activate(0, agg, 400_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Odd offsets from the victim (= even wordline distance from the
+	// aggressors) must never flip (Section 5.4).
+	for _, off := range []int{-5, -3, 3, 5} {
+		if flips := c.ObservedFlips(0, victim+off); len(flips) != 0 {
+			t.Errorf("odd offset %+d has %d flips, want 0", off, len(flips))
+		}
+	}
+}
+
+func TestRefreshRowClearsDamage(t *testing.T) {
+	c := mustChip(t, testConfig())
+	c.WriteAll(c.Config().WorstPattern)
+	c.BeginTest(1)
+	if err := c.Activate(0, 20, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	if d := c.Damage(0, 21); d <= 0 {
+		t.Fatalf("damage on row 21 = %v, want > 0", d)
+	}
+	c.RefreshRow(0, 21)
+	if d := c.Damage(0, 21); d != 0 {
+		t.Fatalf("damage after refresh = %v, want 0", d)
+	}
+}
+
+func TestCommitFlipsPersist(t *testing.T) {
+	c := mustChip(t, testConfig())
+	c.WriteAll(c.Config().WorstPattern)
+
+	var weakRow int
+	best := 1e18
+	c.ForEachCell(func(ci CellInfo) {
+		if ci.Threshold < best {
+			best = ci.Threshold
+			weakRow = ci.Row
+		}
+	})
+	lo, hi, ok := c.AggressorsFor(weakRow)
+	if !ok {
+		t.Fatalf("no aggressors for row %d", weakRow)
+	}
+	if err := c.Activate(0, lo, 3*int(best)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Activate(0, hi, 3*int(best)); err != nil {
+		t.Fatal(err)
+	}
+	c.CommitFlips()
+	if got := len(c.CommittedFlips(0, weakRow)); got == 0 {
+		t.Fatal("no committed flips in the weakest row")
+	}
+	if c.TotalCommittedFlips() == 0 {
+		t.Fatal("TotalCommittedFlips = 0")
+	}
+	// WriteAll clears persistent corruption.
+	c.WriteAll(c.Config().WorstPattern)
+	if c.TotalCommittedFlips() != 0 {
+		t.Fatal("WriteAll did not clear committed flips")
+	}
+}
+
+func TestPairedWordlineAggressors(t *testing.T) {
+	cfg := testConfig()
+	cfg.PairedWordlines = true
+	c := mustChip(t, cfg)
+	lo, hi, ok := c.AggressorsFor(100)
+	if !ok {
+		t.Fatal("no aggressors for row 100")
+	}
+	// Row 100 is on wordline 50; adjacent wordlines host rows 98/99 and
+	// 102/103.
+	if lo != 98 || hi != 102 {
+		t.Fatalf("aggressors = %d,%d, want 98,102", lo, hi)
+	}
+	if c.Wordlines() != cfg.Rows/2 {
+		t.Fatalf("wordlines = %d, want %d", c.Wordlines(), cfg.Rows/2)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() int {
+		c := mustChip(t, testConfig())
+		c.WriteAll(c.Config().WorstPattern)
+		total := 0
+		for v := 2; v < c.Rows()-2; v += 7 {
+			c.BeginTest(uint64(v))
+			lo, hi, ok := c.AggressorsFor(v)
+			if !ok {
+				continue
+			}
+			c.Activate(0, lo, 120_000)
+			c.Activate(0, hi, 120_000)
+			total += len(c.ObservedFlips(0, v))
+		}
+		return total
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic flip counts: %d vs %d", a, b)
+	}
+	if a == 0 {
+		t.Fatal("sweep found no flips at HC=120k on a 10k-HCFirst chip")
+	}
+}
+
+func TestOnDieECCHidesSingleBitFlips(t *testing.T) {
+	cfg := testConfig()
+	cfg.RowBits = 1024
+	cfg.OnDieECC = true
+	cfg.Type = dram.LPDDR4
+	cfg.ClusterP = 0 // isolated cells only → raw flips are single-bit
+	cfg.Rate150k = 5e-4
+	c := mustChip(t, cfg)
+	c.WriteAll(c.Config().WorstPattern)
+
+	raws, observed := 0, 0
+	for v := 2; v < c.Rows()-2; v++ {
+		c.BeginTest(uint64(v))
+		lo, hi, ok := c.AggressorsFor(v)
+		if !ok {
+			continue
+		}
+		c.Activate(0, lo, 140_000)
+		c.Activate(0, hi, 140_000)
+		raws += len(c.rawFlips(0, v))
+		observed += len(c.ObservedFlips(0, v))
+	}
+	if raws == 0 {
+		t.Fatal("no raw flips; test is vacuous")
+	}
+	if observed >= raws {
+		t.Fatalf("on-die ECC observed %d flips ≥ raw %d; expected correction to hide most", observed, raws)
+	}
+}
+
+func TestBetaDerivation(t *testing.T) {
+	cfg := testConfig()
+	c := mustChip(t, cfg)
+	if c.Beta() < 1.2 || c.Beta() > 6 {
+		t.Fatalf("beta = %v out of [1.2, 6]", c.Beta())
+	}
+	// A chip that is not RowHammerable uses the default exponent.
+	cfg.HCFirst = 200_000
+	c2 := mustChip(t, cfg)
+	if c2.Beta() != DefaultBeta {
+		t.Fatalf("beta = %v, want default %v", c2.Beta(), DefaultBeta)
+	}
+}

@@ -1,0 +1,473 @@
+// Package memctrl implements the simulated memory controller of Table 6:
+// FR-FCFS scheduling over 64-entry read/write queues, open-row policy
+// with write draining, tREFI-paced all-bank refresh, and the hook through
+// which RowHammer mitigation mechanisms observe activations and inject
+// targeted victim-row refreshes.
+package memctrl
+
+import (
+	"errors"
+
+	"repro/internal/dram"
+	"repro/internal/mitigation"
+)
+
+// Config sizes the controller.
+type Config struct {
+	ReadQueue  int // demand read queue capacity (Table 6: 64)
+	WriteQueue int // write drain high watermark
+
+	// FCFSOnly disables the first-ready (row-hit) scan, degrading the
+	// scheduler to plain FCFS (ablation).
+	FCFSOnly bool
+	// ClosedRow precharges a bank as soon as no queued request targets
+	// its open row (closed-row policy ablation; default is open-row).
+	ClosedRow bool
+}
+
+// Table6Config returns the paper's controller parameters.
+func Table6Config() Config { return Config{ReadQueue: 64, WriteQueue: 64} }
+
+type request struct {
+	addr   dram.Address
+	write  bool
+	onDone func()
+	queued int64
+}
+
+// mitOp is a mitigation-triggered victim refresh: an ACT+PRE pair that
+// restores a row's charge.
+type mitOp struct {
+	bank, row int
+	activated bool
+}
+
+// Stats aggregates controller activity, split between demand and
+// mitigation traffic so the Figure 10a bandwidth overhead can be derived.
+type Stats struct {
+	Reads, Writes int64
+
+	DemandACTs     int64
+	MitigationACTs int64
+	REFs           int64
+
+	// MitigationBusyCycles: bank-cycles consumed by mitigation refreshes
+	// (tRC per targeted refresh).
+	MitigationBusyCycles int64
+	// RefreshBusyCycles: bank-cycles consumed by REF commands.
+	RefreshBusyCycles int64
+	// DemandBusyCycles: bank-cycles consumed by demand activates (tRC
+	// per row cycle, an upper-bound attribution).
+	DemandBusyCycles int64
+
+	ReadQueueFull int64
+}
+
+// Controller owns one channel. Drive it with Tick once per memory-clock
+// cycle.
+type Controller struct {
+	cfg    Config
+	ch     *dram.Channel
+	mapper *dram.AddressMapper
+	mech   mitigation.Mechanism
+
+	readQ       []*request
+	writeQ      []*request
+	mitQ        []mitOp
+	mitBankBusy []bool // scratch: banks owned by an earlier op this cycle
+
+	draining   bool
+	refPending bool
+	nextREF    int64
+	refi       int64
+
+	// Pending read-data returns, in issue order (fixed CL+BL ⇒ FIFO).
+	returns []retEvent
+
+	cycle int64
+
+	// issuingMitigation marks Issue calls made for mitigation ops so the
+	// OnACT observer can attribute them.
+	issuingMitigation bool
+
+	// onACT forwards every activate to an external observer (fault model
+	// attachment for attack demos).
+	onACT dram.ACTObserver
+
+	Stats Stats
+}
+
+type retEvent struct {
+	cycle int64
+	fn    func()
+}
+
+// New builds a controller over the channel. mech may be nil (no
+// mitigation).
+func New(cfg Config, ch *dram.Channel, mech mitigation.Mechanism) (*Controller, error) {
+	if cfg.ReadQueue <= 0 || cfg.WriteQueue <= 0 {
+		return nil, errors.New("memctrl: queue capacities must be positive")
+	}
+	mapper, err := dram.NewAddressMapper(ch.Geo)
+	if err != nil {
+		return nil, err
+	}
+	if mech == nil {
+		mech = mitigation.NewNone()
+	}
+	c := &Controller{
+		cfg:         cfg,
+		ch:          ch,
+		mapper:      mapper,
+		mech:        mech,
+		mitBankBusy: make([]bool, ch.Geo.Banks()),
+	}
+	c.refi = int64(float64(ch.T.REFI) / mech.RefreshMultiplier())
+	if c.refi < int64(ch.T.RFC)+1 {
+		c.refi = int64(ch.T.RFC) + 1 // refresh storm floor: back-to-back REF
+	}
+	c.nextREF = c.refi
+	ch.OnACT(c.observeACT)
+	ch.OnRefresh(c.observeRefresh)
+	return c, nil
+}
+
+// Mechanism returns the active mitigation mechanism.
+func (c *Controller) Mechanism() mitigation.Mechanism { return c.mech }
+
+// OnACT registers an external activation observer (e.g. the fault model).
+func (c *Controller) OnACT(fn dram.ACTObserver) { c.onACT = fn }
+
+// observeACT feeds the mitigation mechanism and external observers.
+func (c *Controller) observeACT(rank, bank, row int, cycle int64) {
+	if c.issuingMitigation {
+		c.Stats.MitigationACTs++
+		c.Stats.MitigationBusyCycles += int64(c.ch.T.RC)
+	} else {
+		c.Stats.DemandACTs++
+		c.Stats.DemandBusyCycles += int64(c.ch.T.RC)
+	}
+	victims := c.mech.OnActivate(bank, row, cycle, c.issuingMitigation)
+	for _, v := range victims {
+		c.enqueueMitigation(bank, v)
+	}
+	if c.onACT != nil {
+		c.onACT(rank, bank, row, cycle)
+	}
+}
+
+func (c *Controller) observeRefresh(rank, bank, rowStart, rowCount int, cycle int64) {
+	extra := c.mech.OnAutoRefresh(bank, rowStart, rowCount, cycle)
+	for _, v := range extra {
+		c.enqueueMitigation(bank, v)
+	}
+}
+
+func (c *Controller) enqueueMitigation(bank, row int) {
+	// Deduplicate identical pending ops: one refresh suffices.
+	for _, op := range c.mitQ {
+		if op.bank == bank && op.row == row && !op.activated {
+			return
+		}
+	}
+	c.mitQ = append(c.mitQ, mitOp{bank: bank, row: row})
+}
+
+// EnqueueRead accepts a demand read; returns false when the queue is full.
+func (c *Controller) EnqueueRead(addr int64, onDone func()) bool {
+	// Read-after-write forwarding from the write backlog.
+	line := c.mapper.LineAddress(addr)
+	for _, w := range c.writeQ {
+		if w.addr == c.mapper.Map(line) && w.write {
+			c.returns = append(c.returns, retEvent{cycle: c.cycle + 1, fn: onDone})
+			c.Stats.Reads++
+			return true
+		}
+	}
+	if len(c.readQ) >= c.cfg.ReadQueue {
+		c.Stats.ReadQueueFull++
+		return false
+	}
+	c.readQ = append(c.readQ, &request{addr: c.mapper.Map(addr), onDone: onDone, queued: c.cycle})
+	c.Stats.Reads++
+	return true
+}
+
+// EnqueueWrite accepts a write (always; the backlog stands in for the
+// write buffer hierarchy above the 64-entry drain queue).
+func (c *Controller) EnqueueWrite(addr int64) {
+	a := c.mapper.Map(addr)
+	for _, w := range c.writeQ {
+		if w.addr == a {
+			return // coalesce
+		}
+	}
+	c.writeQ = append(c.writeQ, &request{addr: a, write: true, queued: c.cycle})
+	c.Stats.Writes++
+}
+
+// PendingReads reports demand reads still queued (for drain-to-idle).
+func (c *Controller) PendingReads() int { return len(c.readQ) }
+
+// Cycle returns the controller's current memory-clock cycle.
+func (c *Controller) Cycle() int64 { return c.cycle }
+
+// Tick advances one memory-clock cycle and issues at most one command.
+func (c *Controller) Tick() {
+	c.cycle++
+	c.fireReturns()
+
+	if c.cycle >= c.nextREF {
+		c.refPending = true
+	}
+	// Priority 1: refresh (close banks, then REF).
+	if c.refPending {
+		if c.tryRefresh() {
+			return
+		}
+		// Banks still closing: fall through only if nothing to do for
+		// refresh this cycle is impossible — tryRefresh issues PREs.
+	}
+	// Priority 2: mitigation victim refreshes.
+	if c.tryMitigation() {
+		return
+	}
+	if c.refPending {
+		return // don't admit new demand work while a REF is due
+	}
+	// Priority 3: demand scheduling, FR-FCFS with write draining.
+	c.updateDrainMode()
+	if c.draining {
+		if c.schedule(c.writeQ, true) {
+			return
+		}
+		// While draining, still serve row-hit reads opportunistically.
+		c.scheduleRowHits(c.readQ, false, -1)
+		return
+	}
+	if c.schedule(c.readQ, false) {
+		return
+	}
+	// Idle read queue: sneak writes out.
+	if len(c.writeQ) > 0 && c.schedule(c.writeQ, true) {
+		return
+	}
+	if c.cfg.ClosedRow {
+		c.closeIdleRows()
+	}
+}
+
+// closeIdleRows implements the closed-row policy: precharge any bank
+// whose open row no queued request targets.
+func (c *Controller) closeIdleRows() {
+	for b := 0; b < c.ch.Geo.Banks(); b++ {
+		open := c.ch.OpenRow(0, b)
+		if open == -1 {
+			continue
+		}
+		wanted := false
+		for _, r := range c.readQ {
+			if r.addr.Bank == b && r.addr.Row == open {
+				wanted = true
+				break
+			}
+		}
+		if !wanted {
+			for _, r := range c.writeQ {
+				if r.addr.Bank == b && r.addr.Row == open {
+					wanted = true
+					break
+				}
+			}
+		}
+		if !wanted && c.ch.CanIssue(dram.CmdPRE, 0, b, 0, c.cycle) {
+			c.ch.Issue(dram.CmdPRE, 0, b, 0, c.cycle)
+			return
+		}
+	}
+}
+
+func (c *Controller) fireReturns() {
+	n := 0
+	for _, ev := range c.returns {
+		if ev.cycle <= c.cycle {
+			ev.fn()
+		} else {
+			c.returns[n] = ev
+			n++
+		}
+	}
+	c.returns = c.returns[:n]
+}
+
+// tryRefresh closes open banks and issues REF when possible. Returns true
+// if it consumed the command slot.
+func (c *Controller) tryRefresh() bool {
+	if c.ch.CanIssue(dram.CmdREF, 0, 0, 0, c.cycle) {
+		c.ch.Issue(dram.CmdREF, 0, 0, 0, c.cycle)
+		c.Stats.REFs++
+		c.Stats.RefreshBusyCycles += int64(c.ch.T.RFC) * int64(c.ch.Geo.Banks())
+		c.refPending = false
+		c.nextREF += c.refi
+		return true
+	}
+	for b := 0; b < c.ch.Geo.Banks(); b++ {
+		if c.ch.OpenRow(0, b) != -1 && c.ch.CanIssue(dram.CmdPRE, 0, b, 0, c.cycle) {
+			c.ch.Issue(dram.CmdPRE, 0, b, 0, c.cycle)
+			return true
+		}
+	}
+	return false
+}
+
+// tryMitigation advances pending victim refreshes. Ops on different
+// banks proceed concurrently (one in flight per bank); at most one
+// command issues per cycle. Returns true if it consumed the command slot.
+func (c *Controller) tryMitigation() bool {
+	if len(c.mitQ) == 0 {
+		return false
+	}
+	for b := range c.mitBankBusy {
+		c.mitBankBusy[b] = false
+	}
+	for idx := 0; idx < len(c.mitQ); idx++ {
+		op := &c.mitQ[idx]
+		if c.mitBankBusy[op.bank] {
+			continue // an earlier op owns this bank
+		}
+		c.mitBankBusy[op.bank] = true
+		if !op.activated {
+			switch open := c.ch.OpenRow(0, op.bank); {
+			case open == op.row:
+				// Row already open: its charge is restored; finish with
+				// a precharge on a later cycle.
+				op.activated = true
+			case open != -1:
+				if c.ch.CanIssue(dram.CmdPRE, 0, op.bank, 0, c.cycle) {
+					c.ch.Issue(dram.CmdPRE, 0, op.bank, 0, c.cycle)
+					return true
+				}
+			default:
+				if c.ch.CanIssue(dram.CmdACT, 0, op.bank, op.row, c.cycle) {
+					c.issuingMitigation = true
+					c.ch.Issue(dram.CmdACT, 0, op.bank, op.row, c.cycle)
+					c.issuingMitigation = false
+					op.activated = true
+					return true
+				}
+			}
+			continue
+		}
+		if c.ch.CanIssue(dram.CmdPRE, 0, op.bank, 0, c.cycle) {
+			c.ch.Issue(dram.CmdPRE, 0, op.bank, 0, c.cycle)
+			c.mitQ = append(c.mitQ[:idx], c.mitQ[idx+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// updateDrainMode applies write-drain hysteresis.
+func (c *Controller) updateDrainMode() {
+	hi := c.cfg.WriteQueue
+	lo := c.cfg.WriteQueue / 4
+	if !c.draining && len(c.writeQ) >= hi {
+		c.draining = true
+	}
+	if c.draining && len(c.writeQ) <= lo {
+		c.draining = false
+	}
+}
+
+// starveLimit is the age (memory cycles) past which the oldest request
+// preempts row hits to its bank. Unbounded row-hit priority lets
+// streaming cores extend a bank's tRTP horizon forever and starve a
+// row-conflict request — real FR-FCFS schedulers cap the hit streak.
+const starveLimit = 512
+
+// schedule applies FR-FCFS to the queue: ready row-hit column commands
+// first, otherwise progress the oldest request (ACT or PRE). Once the
+// oldest request is starving, it preempts row hits to its bank. Returns
+// true if a command issued.
+func (c *Controller) schedule(q []*request, write bool) bool {
+	if len(q) == 0 {
+		return false
+	}
+	starving := c.cycle-q[0].queued > starveLimit
+	exclude := -1
+	if starving {
+		exclude = q[0].addr.Bank
+		if c.progressOldest(q, write) {
+			return true
+		}
+	}
+	if !c.cfg.FCFSOnly && c.scheduleRowHits(q, write, exclude) {
+		return true
+	}
+	if !starving && c.progressOldest(q, write) {
+		return true
+	}
+	return false
+}
+
+// progressOldest moves the queue's front request forward: serve it when
+// its row is open, otherwise open (or close) the row it needs.
+func (c *Controller) progressOldest(q []*request, write bool) bool {
+	req := q[0]
+	bank := req.addr.Bank
+	switch open := c.ch.OpenRow(0, bank); {
+	case open == req.addr.Row:
+		return c.serveAt(q, 0, write)
+	case open == -1:
+		if c.ch.CanIssue(dram.CmdACT, 0, bank, req.addr.Row, c.cycle) {
+			c.ch.Issue(dram.CmdACT, 0, bank, req.addr.Row, c.cycle)
+			return true
+		}
+	default:
+		if c.ch.CanIssue(dram.CmdPRE, 0, bank, 0, c.cycle) {
+			c.ch.Issue(dram.CmdPRE, 0, bank, 0, c.cycle)
+			return true
+		}
+	}
+	return false
+}
+
+// scheduleRowHits issues the first ready row-hit column access in q,
+// skipping excludeBank (a starving request's bank).
+func (c *Controller) scheduleRowHits(q []*request, write bool, excludeBank int) bool {
+	for i, req := range q {
+		if req.addr.Bank == excludeBank {
+			continue
+		}
+		if c.ch.OpenRow(0, req.addr.Bank) != req.addr.Row {
+			continue
+		}
+		if c.serveAt(q, i, write) {
+			return true
+		}
+	}
+	return false
+}
+
+// serveAt issues the column command for q[i] (whose row must be open)
+// and removes it from the queue. Returns false when timing blocks it.
+func (c *Controller) serveAt(q []*request, i int, write bool) bool {
+	req := q[i]
+	cmd := dram.CmdRD
+	if req.write {
+		cmd = dram.CmdWR
+	}
+	if !c.ch.CanIssue(cmd, 0, req.addr.Bank, req.addr.Row, c.cycle) {
+		return false
+	}
+	ready := c.ch.Issue(cmd, 0, req.addr.Bank, req.addr.Row, c.cycle)
+	if !req.write && req.onDone != nil {
+		c.returns = append(c.returns, retEvent{cycle: ready, fn: req.onDone})
+	}
+	if write {
+		c.writeQ = append(q[:i], q[i+1:]...)
+	} else {
+		c.readQ = append(q[:i], q[i+1:]...)
+	}
+	return true
+}

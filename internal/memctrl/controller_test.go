@@ -1,0 +1,240 @@
+package memctrl
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/mitigation"
+)
+
+func testController(t *testing.T, mech mitigation.Mechanism) (*Controller, *dram.Channel) {
+	t.Helper()
+	geo := dram.Table6Geometry()
+	ch, err := dram.NewChannel(geo, dram.DDR4_2400(geo.Rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := New(Table6Config(), ch, mech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctrl, ch
+}
+
+func run(ctrl *Controller, cycles int) {
+	for i := 0; i < cycles; i++ {
+		ctrl.Tick()
+	}
+}
+
+func TestReadCompletes(t *testing.T) {
+	ctrl, _ := testController(t, nil)
+	done := false
+	if !ctrl.EnqueueRead(0x10000, func() { done = true }) {
+		t.Fatal("read rejected on empty queue")
+	}
+	run(ctrl, 200)
+	if !done {
+		t.Fatal("read never completed")
+	}
+	if ctrl.Stats.Reads != 1 || ctrl.Stats.DemandACTs != 1 {
+		t.Errorf("stats = %+v", ctrl.Stats)
+	}
+}
+
+func TestReadQueueCapacity(t *testing.T) {
+	ctrl, _ := testController(t, nil)
+	accepted := 0
+	for i := 0; i < 100; i++ {
+		if ctrl.EnqueueRead(int64(i)*1<<20, func() {}) {
+			accepted++
+		}
+	}
+	if accepted != Table6Config().ReadQueue {
+		t.Errorf("accepted %d reads, want %d", accepted, Table6Config().ReadQueue)
+	}
+	if ctrl.Stats.ReadQueueFull == 0 {
+		t.Error("queue-full counter not incremented")
+	}
+}
+
+func TestWritesDrainEventually(t *testing.T) {
+	ctrl, _ := testController(t, nil)
+	for i := 0; i < 80; i++ {
+		ctrl.EnqueueWrite(int64(i) * 1 << 14)
+	}
+	if ctrl.Stats.Writes != 80 {
+		t.Fatalf("writes accepted = %d", ctrl.Stats.Writes)
+	}
+	run(ctrl, 20_000)
+	if len(ctrl.writeQ) != 0 {
+		t.Errorf("%d writes still queued", len(ctrl.writeQ))
+	}
+	if ctrl.Stats.DemandACTs == 0 {
+		t.Error("writes issued no activates")
+	}
+}
+
+func TestWriteCoalescing(t *testing.T) {
+	ctrl, _ := testController(t, nil)
+	ctrl.EnqueueWrite(0x4000)
+	ctrl.EnqueueWrite(0x4000)
+	if len(ctrl.writeQ) != 1 {
+		t.Errorf("duplicate write not coalesced: %d", len(ctrl.writeQ))
+	}
+}
+
+func TestReadAfterWriteForwarding(t *testing.T) {
+	ctrl, _ := testController(t, nil)
+	ctrl.EnqueueWrite(0x8000)
+	done := false
+	if !ctrl.EnqueueRead(0x8000, func() { done = true }) {
+		t.Fatal("forwarded read rejected")
+	}
+	run(ctrl, 3)
+	if !done {
+		t.Error("forwarded read did not complete immediately")
+	}
+}
+
+func TestRefreshIssuesAtTREFI(t *testing.T) {
+	ctrl, ch := testController(t, nil)
+	run(ctrl, int(ch.T.REFI)*3+100)
+	if ctrl.Stats.REFs < 2 || ctrl.Stats.REFs > 4 {
+		t.Errorf("REFs = %d after 3×tREFI, want ≈3", ctrl.Stats.REFs)
+	}
+}
+
+func TestIncreasedRefreshMultipliesREFs(t *testing.T) {
+	geo := dram.Table6Geometry()
+	tm := dram.DDR4_2400(geo.Rows)
+	mech, err := mitigation.NewIncreasedRefresh(mitigation.Params{
+		HCFirst: 64_000, Rows: geo.Rows, Banks: geo.Banks(),
+		TRC: int64(tm.RC), TREFI: int64(tm.REFI), TREFW: tm.REFW,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, ch := testController(t, mech)
+	cycles := int(ch.T.REFI) * 4
+	run(ctrl, cycles)
+	base := int64(cycles) / int64(ch.T.REFI)
+	if ctrl.Stats.REFs < 4*base {
+		t.Errorf("REFs = %d, want ≥ %d (multiplier %.0f)",
+			ctrl.Stats.REFs, 4*base, mech.RefreshMultiplier())
+	}
+}
+
+// hammerMech requests a victim refresh on every ACT, for plumbing tests.
+type hammerMech struct{ victims int }
+
+func (h *hammerMech) Name() string { return "test" }
+func (h *hammerMech) OnActivate(bank, row int, cycle int64, fromMitigation bool) []int {
+	if fromMitigation {
+		return nil
+	}
+	h.victims++
+	return []int{row + 1}
+}
+func (h *hammerMech) OnAutoRefresh(bank, rowStart, rowCount int, cycle int64) []int { return nil }
+func (h *hammerMech) RefreshMultiplier() float64                                    { return 1 }
+
+func TestMitigationRefreshPlumbing(t *testing.T) {
+	mech := &hammerMech{}
+	ctrl, _ := testController(t, mech)
+	ctrl.EnqueueRead(0x100000, func() {})
+	run(ctrl, 500)
+	if mech.victims == 0 {
+		t.Fatal("mechanism never observed the demand ACT")
+	}
+	if ctrl.Stats.MitigationACTs == 0 {
+		t.Fatal("victim refresh never issued")
+	}
+	if ctrl.Stats.MitigationBusyCycles == 0 {
+		t.Error("mitigation busy cycles not accounted")
+	}
+}
+
+func TestExternalACTObserver(t *testing.T) {
+	ctrl, _ := testController(t, nil)
+	var rows []int
+	ctrl.OnACT(func(rank, bank, row int, cycle int64) { rows = append(rows, row) })
+	ctrl.EnqueueRead(0x30000, func() {})
+	run(ctrl, 300)
+	if len(rows) == 0 {
+		t.Fatal("external observer never fired")
+	}
+}
+
+func TestStarvationBounded(t *testing.T) {
+	// A stream of row hits to one bank must not starve a conflicting
+	// request in the same bank forever.
+	ctrl, ch := testController(t, nil)
+	mapper, err := dram.NewAddressMapper(ch.Geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimAddr := mapper.AddressOf(dram.Address{Bank: 0, Row: 100})
+	hitAddr := func(col int) int64 {
+		return mapper.AddressOf(dram.Address{Bank: 0, Row: 200, Col: col % ch.Geo.Columns})
+	}
+	// Open row 200 and keep hitting it while the row-100 request waits.
+	ctrl.EnqueueRead(hitAddr(0), func() {})
+	run(ctrl, 100)
+	done := false
+	ctrl.EnqueueRead(victimAddr, func() { done = true })
+	col := 1
+	for i := 0; i < 5000 && !done; i++ {
+		if ctrl.PendingReads() < 32 {
+			ctrl.EnqueueRead(hitAddr(col), func() {})
+			col++
+		}
+		ctrl.Tick()
+	}
+	if !done {
+		t.Fatal("row-conflict request starved behind a row-hit stream")
+	}
+}
+
+func TestClosedRowPolicyCloses(t *testing.T) {
+	geo := dram.Table6Geometry()
+	ch, err := dram.NewChannel(geo, dram.DDR4_2400(geo.Rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Table6Config()
+	cfg.ClosedRow = true
+	ctrl, err := New(cfg, ch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.EnqueueRead(0x50000, func() {})
+	run(ctrl, 400)
+	for b := 0; b < geo.Banks(); b++ {
+		if ch.OpenRow(0, b) != -1 {
+			t.Fatalf("bank %d still open under closed-row policy", b)
+		}
+	}
+}
+
+func TestFCFSOnlyStillCompletes(t *testing.T) {
+	geo := dram.Table6Geometry()
+	ch, err := dram.NewChannel(geo, dram.DDR4_2400(geo.Rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Table6Config()
+	cfg.FCFSOnly = true
+	ctrl, err := New(cfg, ch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed := 0
+	for i := 0; i < 16; i++ {
+		ctrl.EnqueueRead(int64(i)*1<<16, func() { completed++ })
+	}
+	run(ctrl, 10_000)
+	if completed != 16 {
+		t.Fatalf("FCFS completed %d/16 reads", completed)
+	}
+}

@@ -1,0 +1,68 @@
+package mitigation
+
+// Ideal is the paper's ideal refresh-based mechanism: it tracks every
+// activation to every row exactly and refreshes a victim only immediately
+// before it could experience its first bit flip — the minimum possible
+// number of additional refreshes for a refresh-based defense
+// (Section 6.1). It bounds what any counter- or probability-based
+// mechanism could hope to achieve.
+type Ideal struct {
+	p Params
+
+	// hammers[bank][row] counts accumulated hammers (a single adjacent
+	// activation contributes 0.5, so a double-sided pair contributes 1).
+	hammers [][]float32
+	trigger float32
+}
+
+// NewIdeal builds the oracle tracker.
+func NewIdeal(p Params) (*Ideal, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Ideal{p: p}
+	m.hammers = make([][]float32, p.Banks)
+	for b := range m.hammers {
+		m.hammers[b] = make([]float32, p.Rows)
+	}
+	m.trigger = float32(p.HCFirst) - 1
+	if m.trigger < 1 {
+		m.trigger = 1
+	}
+	return m, nil
+}
+
+func (m *Ideal) Name() string { return "Ideal" }
+
+func (m *Ideal) OnActivate(bank, row int, cycle int64, fromMitigation bool) []int {
+	rows := m.hammers[bank]
+	// Activating a row restores its own charge.
+	rows[row] = 0
+	var refresh []int
+	for _, victim := range clampNeighbors(row, m.p.Rows) {
+		rows[victim] += 0.5
+		if rows[victim] >= m.trigger {
+			refresh = append(refresh, victim)
+			rows[victim] = 0
+		}
+	}
+	return refresh
+}
+
+func (m *Ideal) OnAutoRefresh(bank, rowStart, rowCount int, cycle int64) []int {
+	rows := m.hammers[bank]
+	for r := rowStart; r < rowStart+rowCount && r < len(rows); r++ {
+		rows[r] = 0
+	}
+	return nil
+}
+
+func (m *Ideal) RefreshMultiplier() float64 { return 1 }
+
+// Viable: the oracle applies at any HCfirst (it is a bound, not a
+// realizable design).
+func (m *Ideal) Viable() bool { return true }
+
+func (m *Ideal) ViabilityNote() string {
+	return "oracle bound: perfect per-row activation tracking"
+}

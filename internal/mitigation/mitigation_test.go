@@ -1,0 +1,324 @@
+package mitigation
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+)
+
+func testParams(hcFirst int) Params {
+	t := dram.DDR4_2400(16384)
+	return Params{
+		HCFirst: hcFirst,
+		Rows:    16384,
+		Banks:   16,
+		TRC:     int64(t.RC),
+		TREFI:   int64(t.REFI),
+		TREFW:   t.REFW,
+		Seed:    1,
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := testParams(10_000)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mutate := range []func(*Params){
+		func(p *Params) { p.HCFirst = 0 },
+		func(p *Params) { p.Rows = 0 },
+		func(p *Params) { p.Banks = 0 },
+		func(p *Params) { p.TRC = 0 },
+	} {
+		p := good
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("invalid params accepted: %+v", p)
+		}
+	}
+}
+
+func TestNoneIsInert(t *testing.T) {
+	n := NewNone()
+	if got := n.OnActivate(0, 5, 1, false); got != nil {
+		t.Errorf("None refreshed %v", got)
+	}
+	if n.RefreshMultiplier() != 1 {
+		t.Error("None multiplier != 1")
+	}
+}
+
+func TestIncreasedRefreshScaling(t *testing.T) {
+	weak, err := NewIncreasedRefresh(testParams(32_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := NewIncreasedRefresh(testParams(128_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weak.RefreshMultiplier() <= strong.RefreshMultiplier() {
+		t.Errorf("multiplier must grow as HCfirst shrinks: %v vs %v",
+			weak.RefreshMultiplier(), strong.RefreshMultiplier())
+	}
+	// tREFW' = HCfirst×tRC: at 32k and tRC=56 cycles the window is
+	// 1.79M cycles vs the nominal 76.8G ps / 833 ps ≈ 76.8M cycles: ≈43×.
+	if m := weak.RefreshMultiplier(); m < 35 || m > 55 {
+		t.Errorf("multiplier at 32k = %v, want ≈43", m)
+	}
+	if !weak.Viable() {
+		t.Error("32k must be viable (the paper's bound)")
+	}
+	below, err := NewIncreasedRefresh(testParams(16_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if below.Viable() {
+		t.Error("16k must not be viable")
+	}
+}
+
+func TestPARAProbabilityScaling(t *testing.T) {
+	t4800, err := NewPARA(testParams(4_800), 833)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t128, err := NewPARA(testParams(128), 833)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(t128.Probability() > t4800.Probability()) {
+		t.Errorf("p must grow as HCfirst shrinks: %v vs %v", t128.Probability(), t4800.Probability())
+	}
+	// Section 6.2.2 context: p around 2% protects HCfirst≈5k chips.
+	if p := t4800.Probability(); p < 0.005 || p > 0.08 {
+		t.Errorf("p(4.8k) = %v, want a few percent", p)
+	}
+	if p := t128.Probability(); p < 0.3 || p > 1 {
+		t.Errorf("p(128) = %v, want large", p)
+	}
+	// Statistical check: triggers per ACT ≈ p.
+	hits := 0
+	n := 200_000
+	for i := 0; i < n; i++ {
+		if len(t4800.OnActivate(0, 100, int64(i), false)) > 0 {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if got < 0.8*t4800.Probability() || got > 1.2*t4800.Probability() {
+		t.Errorf("observed trigger rate %v, want ≈%v", got, t4800.Probability())
+	}
+}
+
+func TestPARARefreshesAdjacentRows(t *testing.T) {
+	m, err := NewPARA(testParams(64), 833)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.prob = 1 // force triggers
+	for i := 0; i < 100; i++ {
+		vs := m.OnActivate(0, 500, int64(i), false)
+		if len(vs) != 1 || (vs[0] != 499 && vs[0] != 501) {
+			t.Fatalf("victims = %v, want one of 499/501", vs)
+		}
+	}
+	m.WithFanout(2)
+	if vs := m.OnActivate(0, 500, 0, false); len(vs) != 2 {
+		t.Fatalf("fanout-2 victims = %v", vs)
+	}
+	// Edge rows clamp.
+	if vs := m.OnActivate(0, 0, 0, false); len(vs) != 1 || vs[0] != 1 {
+		t.Fatalf("edge victims = %v", vs)
+	}
+}
+
+func TestTWiCeRefreshesAtThreshold(t *testing.T) {
+	p := testParams(32_000)
+	m, err := NewTWiCe(p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tRH = HCfirst/4 hammers; each single-sided ACT adds 0.5.
+	acts := int(m.TRH()*2) - 1
+	for i := 0; i < acts; i++ {
+		if got := m.OnActivate(3, 100, int64(i), false); len(got) != 0 {
+			t.Fatalf("premature refresh after %d ACTs: %v", i, got)
+		}
+	}
+	if m.TableEntries() == 0 {
+		t.Error("table empty mid-attack")
+	}
+	got := m.OnActivate(3, 100, int64(acts), false)
+	want := false
+	for _, v := range got {
+		if v == 99 || v == 101 {
+			want = true
+		}
+	}
+	if !want {
+		t.Fatalf("no victim refresh at threshold: %v", got)
+	}
+}
+
+func TestTWiCePruningDropsColdRows(t *testing.T) {
+	m, err := NewTWiCe(testParams(64_000), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.OnActivate(0, 10, 1, false) // rows 9 and 11 enter with 0.5 acts
+	if m.TableEntries() != 2 {
+		t.Fatalf("entries = %d, want 2", m.TableEntries())
+	}
+	// One pruning pass: act rate 0.5 per lifetime 1 is far below
+	// pruneTh = tRH/8192 ≈ 1.95, so both entries are dropped.
+	m.OnAutoRefresh(0, 5000, 2, 100)
+	if m.TableEntries() != 0 {
+		t.Fatalf("entries after prune = %d, want 0", m.TableEntries())
+	}
+}
+
+func TestTWiCeViability(t *testing.T) {
+	real32k, _ := NewTWiCe(testParams(32_000), false)
+	if !real32k.Viable() {
+		t.Error("TWiCe at 32k must be viable")
+	}
+	real16k, _ := NewTWiCe(testParams(16_000), false)
+	if real16k.Viable() {
+		t.Error("TWiCe at 16k must not be viable")
+	}
+	ideal16k, _ := NewTWiCe(testParams(16_000), true)
+	if !ideal16k.Viable() {
+		t.Error("TWiCe-ideal must always be viable")
+	}
+	if ideal16k.Name() != "TWiCe-ideal" || real16k.Name() != "TWiCe" {
+		t.Error("names wrong")
+	}
+}
+
+func TestIdealTriggersExactlyBeforeHCFirst(t *testing.T) {
+	m, err := NewIdeal(testParams(1_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alternate the two aggressors like a double-sided attack; the victim
+	// accumulates 0.5 per ACT and must be refreshed just before 999.
+	victim := 200
+	total := 0
+	var firstTrigger int
+	for i := 0; i < 4000; i++ {
+		agg := victim - 1
+		if i%2 == 1 {
+			agg = victim + 1
+		}
+		for _, v := range m.OnActivate(0, agg, int64(i), false) {
+			if v == victim {
+				total++
+				if total == 1 {
+					firstTrigger = i
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("ideal mechanism never refreshed the victim")
+	}
+	// 999 hammers ≈ 1998 ACTs.
+	if firstTrigger < 1995 || firstTrigger > 2000 {
+		t.Errorf("first refresh at ACT %d, want ≈1997", firstTrigger)
+	}
+}
+
+func TestIdealActivationResetsOwnCounter(t *testing.T) {
+	m, err := NewIdeal(testParams(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hammer row 50's neighbour 49 a lot, but activate 50 itself midway:
+	// the accumulated damage must reset.
+	for i := 0; i < 150; i++ {
+		m.OnActivate(0, 49, int64(i), false)
+	}
+	m.OnActivate(0, 50, 150, false) // victim itself activated
+	triggers := 0
+	for i := 0; i < 90; i++ {
+		for _, v := range m.OnActivate(0, 49, int64(151+i), false) {
+			if v == 50 {
+				triggers++
+			}
+		}
+	}
+	if triggers != 0 {
+		t.Errorf("counter did not reset on own activation: %d triggers", triggers)
+	}
+}
+
+func TestIdealAutoRefreshResets(t *testing.T) {
+	m, err := NewIdeal(testParams(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 190; i++ {
+		m.OnActivate(0, 49, int64(i), false) // row 50 at 95 hammers
+	}
+	m.OnAutoRefresh(0, 0, 16384, 200) // full-bank rotation reset
+	for i := 0; i < 8; i++ {
+		if vs := m.OnActivate(0, 49, int64(201+i), false); len(vs) != 0 {
+			t.Fatalf("refresh did not reset counters: %v", vs)
+		}
+	}
+}
+
+func TestProHITTracksAndRefreshesHotRows(t *testing.T) {
+	m, err := NewProHIT(testParams(2_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Viable() {
+		t.Error("ProHIT at 2000 must be viable")
+	}
+	// Hammer row 100 heavily: victims 99/101 should climb into the hot
+	// table; a REF must then refresh one of them.
+	refreshed := map[int]bool{}
+	for i := 0; i < 4000; i++ {
+		m.OnActivate(0, 100, int64(i), false)
+		if i%500 == 499 {
+			for _, v := range m.OnAutoRefresh(0, 0, 2, int64(i)) {
+				refreshed[v] = true
+			}
+		}
+	}
+	if !refreshed[99] && !refreshed[101] {
+		t.Errorf("hot victims never refreshed: %v", refreshed)
+	}
+	off, _ := NewProHIT(testParams(4_800))
+	if off.Viable() {
+		t.Error("ProHIT away from 2000 must not be viable")
+	}
+}
+
+func TestMRLocRefreshesLocalVictims(t *testing.T) {
+	m, err := NewMRLoc(testParams(2_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Viable() {
+		t.Error("MRLoc at 2000 must be viable")
+	}
+	refreshes := 0
+	for i := 0; i < 20_000; i++ {
+		refreshes += len(m.OnActivate(0, 100, int64(i), false))
+	}
+	if refreshes == 0 {
+		t.Error("MRLoc never refreshed a repeatedly hammered victim")
+	}
+	// A scan over distinct rows must trigger (almost) nothing.
+	cold, _ := NewMRLoc(testParams(2_000))
+	coldRefreshes := 0
+	for i := 0; i < 20_000; i++ {
+		coldRefreshes += len(cold.OnActivate(0, (i*37)%16000, int64(i), false))
+	}
+	if coldRefreshes > refreshes/4 {
+		t.Errorf("MRLoc refreshed %d victims on a streaming scan (attack: %d)", coldRefreshes, refreshes)
+	}
+}

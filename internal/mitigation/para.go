@@ -1,0 +1,92 @@
+package mitigation
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// PARA (Probabilistic Adjacent Row Activation, Kim et al. [62]) refreshes
+// a neighbour of every activated row with a low probability p. It is
+// stateless, so it scales to arbitrary HCfirst values by raising p — at
+// the cost of ever more refresh activations (Figure 10's most scalable
+// but eventually slowest curve).
+type PARA struct {
+	p      Params
+	prob   float64
+	fanout int // adjacent rows refreshed per trigger (default 1)
+	rng    *stats.RNG
+}
+
+// TargetBER is the acceptable probability of a RowHammer failure per hour
+// of continuous hammering the paper adopts from consumer reliability
+// targets (Section 6.1): 1e-15.
+const TargetBER = 1e-15
+
+// NewPARA derives p for the chip's HCfirst so that the bit error rate
+// under continuous hammering stays below TargetBER per hour:
+// each aggressor activation refreshes a given neighbour with probability
+// p/2, so a victim survives HCfirst hammers unprotected with probability
+// (1−p/2)^HCfirst; with 3600s/(HCfirst·tRC) attack windows per hour the
+// per-window budget follows.
+func NewPARA(p Params, tckPS int64) (*PARA, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := &PARA{p: p, fanout: 1, rng: stats.NewRNG(p.Seed ^ 0x9a7a)}
+	trcSec := float64(p.TRC) * float64(tckPS) * 1e-12
+	windowsPerHour := 3600 / (float64(p.HCFirst) * trcSec)
+	if windowsPerHour < 1 {
+		windowsPerHour = 1
+	}
+	perWindow := TargetBER / windowsPerHour
+	// (1 − p/2)^HC ≤ perWindow  ⇒  p = 2·(1 − perWindow^(1/HC)).
+	m.prob = 2 * (1 - math.Exp(math.Log(perWindow)/float64(p.HCFirst)))
+	if m.prob > 1 {
+		m.prob = 1
+	}
+	return m, nil
+}
+
+// Probability returns the derived refresh probability p.
+func (m *PARA) Probability() float64 { return m.prob }
+
+// WithFanout sets how many adjacent rows each trigger refreshes (1 picks
+// one side at random, 2 refreshes both — the DESIGN.md ablation). It
+// returns the receiver for chaining.
+func (m *PARA) WithFanout(n int) *PARA {
+	if n < 1 {
+		n = 1
+	}
+	if n > 2 {
+		n = 2
+	}
+	m.fanout = n
+	return m
+}
+
+func (m *PARA) Name() string { return "PARA" }
+
+func (m *PARA) OnActivate(bank, row int, cycle int64, fromMitigation bool) []int {
+	if !m.rng.Bernoulli(m.prob) {
+		return nil
+	}
+	ns := clampNeighbors(row, m.p.Rows)
+	if len(ns) == 0 {
+		return nil
+	}
+	if m.fanout >= len(ns) {
+		return ns
+	}
+	// Refresh one adjacent row, chosen uniformly.
+	return []int{ns[m.rng.Intn(len(ns))]}
+}
+
+func (m *PARA) OnAutoRefresh(bank, rowStart, rowCount int, cycle int64) []int { return nil }
+
+func (m *PARA) RefreshMultiplier() float64 { return 1 }
+
+// Viable: PARA's design scales to any HCfirst.
+func (m *PARA) Viable() bool { return true }
+
+func (m *PARA) ViabilityNote() string { return "scales to arbitrary HCfirst by raising p" }

@@ -1,0 +1,259 @@
+// Package sim wires the full simulated system of Table 6 — trace-driven
+// cores, shared LLC, FR-FCFS memory controller, cycle-accurate DDR4
+// channel, and a RowHammer mitigation mechanism — and measures the two
+// metrics of Section 6.2.1: normalized weighted speedup and DRAM
+// bandwidth overhead.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/mitigation"
+	"repro/internal/trace"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	CPUFreqMHz int // Table 6: 4000
+	MemFreqMHz int // DDR4-2400: 1200 (command clock)
+
+	Core cpu.Config
+	LLC  cache.Config
+	Ctrl memctrl.Config
+	Geo  dram.Geometry
+	T    dram.Timing
+
+	// WarmupInsts / MeasureInsts per core. Warmup fills caches before
+	// statistics reset (the paper warms 100M and measures 200M; scale
+	// down proportionally for tractable runs).
+	WarmupInsts  int64
+	MeasureInsts int64
+
+	// MaxCPUCycles bounds runaway runs (0 = derived from MeasureInsts).
+	MaxCPUCycles int64
+
+	Mechanism mitigation.Mechanism
+}
+
+// Table6Config returns the paper's system configuration with the given
+// per-core instruction budget.
+func Table6Config(warmup, measure int64) Config {
+	geo := dram.Table6Geometry()
+	return Config{
+		CPUFreqMHz:   4000,
+		MemFreqMHz:   1200,
+		Core:         cpu.Table6Config(),
+		LLC:          cache.Table6Config(),
+		Ctrl:         memctrl.Table6Config(),
+		Geo:          geo,
+		T:            dram.DDR4_2400(geo.Rows),
+		WarmupInsts:  warmup,
+		MeasureInsts: measure,
+	}
+}
+
+// MitigationParams derives the mechanism parameter block from a system
+// configuration and a target HCfirst.
+func (c Config) MitigationParams(hcFirst int, seed uint64) mitigation.Params {
+	return mitigation.Params{
+		HCFirst: hcFirst,
+		Rows:    c.Geo.Rows,
+		Banks:   c.Geo.Banks(),
+		TRC:     int64(c.T.RC),
+		TREFI:   int64(c.T.REFI),
+		TREFW:   c.T.REFW,
+		Seed:    seed,
+	}
+}
+
+// Result reports one run.
+type Result struct {
+	Mechanism string
+	CPUCycles int64
+	MemCycles int64
+
+	IPC     []float64 // per core, measured window
+	Retired []int64
+
+	MPKI float64 // aggregate LLC misses per kilo-instruction
+
+	Ctrl memctrl.Stats
+	Chan dram.ChannelStats
+	LLC  cache.Stats
+
+	// BandwidthOverheadPct is Figure 10a's metric: the share of total
+	// DRAM bank-time consumed by the mitigation mechanism (targeted
+	// refreshes plus refresh commands beyond the nominal tREFI pace), as
+	// a percentage. Refresh-storm configurations can exceed 100% on a
+	// demanded-time basis.
+	BandwidthOverheadPct float64
+}
+
+// TotalIPC sums per-core IPCs.
+func (r Result) TotalIPC() float64 {
+	s := 0.0
+	for _, v := range r.IPC {
+		s += v
+	}
+	return s
+}
+
+// Run simulates the mix on the configuration.
+func Run(cfg Config, mix trace.Mix) (*Result, error) {
+	if len(mix.Traces) == 0 {
+		return nil, errors.New("sim: empty mix")
+	}
+	if cfg.MeasureInsts <= 0 {
+		return nil, errors.New("sim: MeasureInsts must be positive")
+	}
+	if cfg.CPUFreqMHz <= 0 || cfg.MemFreqMHz <= 0 || cfg.MemFreqMHz > cfg.CPUFreqMHz {
+		return nil, fmt.Errorf("sim: bad clocks %d/%d MHz", cfg.CPUFreqMHz, cfg.MemFreqMHz)
+	}
+
+	ch, err := dram.NewChannel(cfg.Geo, cfg.T)
+	if err != nil {
+		return nil, err
+	}
+	mech := cfg.Mechanism
+	if mech == nil {
+		mech = mitigation.NewNone()
+	}
+	ctrl, err := memctrl.New(cfg.Ctrl, ch, mech)
+	if err != nil {
+		return nil, err
+	}
+	llc, err := cache.New(cfg.LLC, ctrl, len(mix.Traces))
+	if err != nil {
+		return nil, err
+	}
+	cores := make([]*cpu.Core, len(mix.Traces))
+	for i, tr := range mix.Traces {
+		cores[i], err = cpu.New(i, cfg.Core, tr, llc)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	maxCycles := cfg.MaxCPUCycles
+	if maxCycles == 0 {
+		// Even at 0.5% of peak IPC the run completes.
+		maxCycles = (cfg.WarmupInsts + cfg.MeasureInsts) * 800
+	}
+
+	target := cfg.WarmupInsts
+	warmedUp := cfg.WarmupInsts == 0
+	var cpuCycle, memAcc int64
+	var measStartCycle int64
+
+	allRetired := func(n int64) bool {
+		for _, c := range cores {
+			if c.Retired < n {
+				return false
+			}
+		}
+		return true
+	}
+
+	for cpuCycle = 0; cpuCycle < maxCycles; cpuCycle++ {
+		llc.Tick()
+		for _, c := range cores {
+			c.Tick()
+		}
+		memAcc += int64(cfg.MemFreqMHz)
+		if memAcc >= int64(cfg.CPUFreqMHz) {
+			memAcc -= int64(cfg.CPUFreqMHz)
+			ctrl.Tick()
+		}
+		if !warmedUp && allRetired(target) {
+			warmedUp = true
+			for _, c := range cores {
+				c.ResetStats()
+			}
+			llc.ResetStats()
+			ctrl.Stats = memctrl.Stats{}
+			ch.Stats = dram.ChannelStats{}
+			measStartCycle = cpuCycle
+		}
+		if warmedUp && allRetired(cfg.MeasureInsts) {
+			break
+		}
+	}
+
+	res := &Result{
+		Mechanism: mech.Name(),
+		CPUCycles: cpuCycle - measStartCycle,
+		MemCycles: ctrl.Cycle(),
+		Ctrl:      ctrl.Stats,
+		Chan:      ch.Stats,
+		LLC:       llc.Stats,
+	}
+	var totalInsts int64
+	for _, c := range cores {
+		res.IPC = append(res.IPC, c.IPC())
+		res.Retired = append(res.Retired, c.Retired)
+		totalInsts += c.Retired
+	}
+	res.MPKI = llc.Stats.MPKI(totalInsts)
+	res.BandwidthOverheadPct = bandwidthOverhead(cfg, mech, ctrl.Stats, res.CPUCycles)
+	return res, nil
+}
+
+// bandwidthOverhead computes Figure 10a's metric on a demanded-time
+// basis: mitigation bank-cycles (targeted refreshes plus above-nominal
+// refresh time) over the total bank-time of the measured window.
+func bandwidthOverhead(cfg Config, mech mitigation.Mechanism, st memctrl.Stats, cpuCycles int64) float64 {
+	memCycles := cpuCycles * int64(cfg.MemFreqMHz) / int64(cfg.CPUFreqMHz)
+	if memCycles == 0 {
+		return 0
+	}
+	bankTime := float64(memCycles) * float64(cfg.Geo.Banks())
+
+	mit := float64(st.MitigationBusyCycles)
+
+	// Demanded refresh time above the nominal refresh schedule. Using the
+	// demanded (not issued) time lets refresh-storm configurations report
+	// >100%, like the paper's inverted log axis.
+	mult := mech.RefreshMultiplier()
+	if mult > 1 {
+		nominalREFs := float64(memCycles) / float64(cfg.T.REFI)
+		demandedREFs := nominalREFs * mult
+		mit += (demandedREFs - nominalREFs) * float64(cfg.T.RFC) * float64(cfg.Geo.Banks())
+	}
+	return 100 * mit / bankTime
+}
+
+// WeightedSpeedup implements the Section 6.2.1 metric: the sum over cores
+// of IPC_shared / IPC_alone.
+func WeightedSpeedup(shared, alone []float64) (float64, error) {
+	if len(shared) != len(alone) {
+		return 0, errors.New("sim: mismatched IPC slices")
+	}
+	ws := 0.0
+	for i := range shared {
+		if alone[i] <= 0 {
+			return 0, fmt.Errorf("sim: core %d alone-IPC is zero", i)
+		}
+		ws += shared[i] / alone[i]
+	}
+	return ws, nil
+}
+
+// RunAlone measures each trace's single-core IPC on the baseline system
+// (no mitigation), the denominator of weighted speedup.
+func RunAlone(cfg Config, mix trace.Mix) ([]float64, error) {
+	alone := make([]float64, len(mix.Traces))
+	cfg.Mechanism = nil
+	for i, tr := range mix.Traces {
+		res, err := Run(cfg, trace.Mix{Name: mix.Name + "-alone", Traces: []*trace.Trace{tr}})
+		if err != nil {
+			return nil, err
+		}
+		alone[i] = res.IPC[0]
+	}
+	return alone, nil
+}

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/mitigation"
+	"repro/internal/trace"
+)
+
+// quickConfig returns a scaled-down Table 6 system for tests.
+func quickConfig() Config {
+	cfg := Table6Config(2_000, 20_000)
+	cfg.LLC.SizeBytes = 1 << 20 // 1 MiB keeps the miss rate realistic at small scale
+	return cfg
+}
+
+func quickMix(cores int, seed uint64) trace.Mix {
+	return trace.Mixes(1, cores, 2_000, seed)[0]
+}
+
+func TestBaselineRunCompletes(t *testing.T) {
+	cfg := quickConfig()
+	mix := quickMix(4, 1)
+	res, err := Run(cfg, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPUCycles <= 0 {
+		t.Fatal("no measured cycles")
+	}
+	for i, ipc := range res.IPC {
+		if ipc <= 0 || ipc > float64(cfg.Core.IssueWidth) {
+			t.Errorf("core %d IPC = %v out of (0,%d]", i, ipc, cfg.Core.IssueWidth)
+		}
+	}
+	for i, r := range res.Retired {
+		if r < cfg.MeasureInsts {
+			t.Errorf("core %d retired %d < target %d", i, r, cfg.MeasureInsts)
+		}
+	}
+	if res.Ctrl.Reads == 0 {
+		t.Error("no memory reads reached the controller")
+	}
+	if res.Ctrl.REFs == 0 {
+		t.Error("no refresh commands issued")
+	}
+	if res.MPKI <= 0 {
+		t.Error("zero MPKI on a memory-intensive mix")
+	}
+}
+
+// memoryIntenseMix builds a mix from the most activation-heavy profiles
+// so mitigation overheads rise well above run-to-run noise.
+func memoryIntenseMix(seed uint64) trace.Mix {
+	var profiles []trace.Profile
+	for _, p := range trace.Catalog() {
+		switch p.Name {
+		case "mcf-like", "graph-walk", "sparse-mv", "hash-join":
+			profiles = append(profiles, p)
+		}
+	}
+	m := trace.Mix{Name: "intense"}
+	for i, p := range profiles {
+		m.Traces = append(m.Traces, p.Generate(2_000, seed+uint64(i)))
+	}
+	return m
+}
+
+func TestMitigationSlowdownOrdering(t *testing.T) {
+	cfg := quickConfig()
+	mix := memoryIntenseMix(2)
+
+	base, err := Run(cfg, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An aggressive PARA (tiny HCfirst) must slow the system down and
+	// consume bandwidth; a mild one (large HCfirst) should be near zero.
+	aggressive, err := mitigation.NewPARA(cfg.MitigationParams(128, 1), cfg.T.TCKPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgA := cfg
+	cfgA.Mechanism = aggressive
+	resA, err := Run(cfgA, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mild, err := mitigation.NewPARA(cfg.MitigationParams(100_000, 1), cfg.T.TCKPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgM := cfg
+	cfgM.Mechanism = mild
+	resM, err := Run(cfgM, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if resA.TotalIPC() >= base.TotalIPC() {
+		t.Errorf("aggressive PARA IPC %.3f not below baseline %.3f", resA.TotalIPC(), base.TotalIPC())
+	}
+	if resA.BandwidthOverheadPct <= resM.BandwidthOverheadPct {
+		t.Errorf("aggressive PARA overhead %.3f%% not above mild %.3f%%",
+			resA.BandwidthOverheadPct, resM.BandwidthOverheadPct)
+	}
+	if resA.Ctrl.MitigationACTs == 0 {
+		t.Error("aggressive PARA issued no mitigation activates")
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	ws, err := WeightedSpeedup([]float64{1, 2}, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws != 1.5 {
+		t.Fatalf("ws = %v, want 1.5", ws)
+	}
+	if _, err := WeightedSpeedup([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := WeightedSpeedup([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero alone-IPC accepted")
+	}
+}
+
+func TestRunAlone(t *testing.T) {
+	cfg := quickConfig()
+	cfg.WarmupInsts = 1_000
+	cfg.MeasureInsts = 5_000
+	mix := quickMix(2, 3)
+	alone, err := RunAlone(cfg, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alone) != 2 {
+		t.Fatalf("got %d alone IPCs, want 2", len(alone))
+	}
+	for i, ipc := range alone {
+		if ipc <= 0 {
+			t.Errorf("alone IPC[%d] = %v", i, ipc)
+		}
+	}
+}
+
+func TestIdealMechanismNearZeroOverheadAtHighHCFirst(t *testing.T) {
+	cfg := quickConfig()
+	mix := quickMix(4, 4)
+	ideal, err := mitigation.NewIdeal(cfg.MitigationParams(100_000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Mechanism = ideal
+	res, err := Run(cfg, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BandwidthOverheadPct > 0.5 {
+		t.Errorf("ideal mechanism at HCfirst=100k has %.3f%% overhead, want ~0", res.BandwidthOverheadPct)
+	}
+}

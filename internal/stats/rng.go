@@ -1,0 +1,128 @@
+package stats
+
+import "math"
+
+// RNG is a small deterministic pseudo-random generator (xoshiro256**) used
+// everywhere randomness is needed so that experiments are reproducible from
+// a seed alone, independent of math/rand version changes.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from the given value via SplitMix64,
+// which guarantees a non-zero internal state for any seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bool returns a fair coin flip.
+func (r *RNG) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Range returns a uniform value in [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Poisson draws from a Poisson distribution with mean lambda using
+// inversion for small means and a normal approximation for large ones.
+func (r *RNG) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		// Knuth inversion.
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	// Normal approximation with continuity correction.
+	n := lambda + math.Sqrt(lambda)*r.Normal()
+	if n < 0 {
+		return 0
+	}
+	return int(n + 0.5)
+}
+
+// Normal returns a standard normal deviate (Box–Muller).
+func (r *RNG) Normal() float64 {
+	// Marsaglia polar method.
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Fork derives an independent generator from this one, for giving each
+// chip/row/workload its own stream without coupling draw orders.
+func (r *RNG) Fork() *RNG { return NewRNG(r.Uint64()) }
+
+// Shuffle permutes the first n indices using the Fisher–Yates algorithm,
+// calling swap for each exchange.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

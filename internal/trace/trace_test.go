@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Catalog()[2] // stream-copy
+	a := p.Generate(1000, 42)
+	b := p.Generate(1000, 42)
+	if len(a.Records) != 1000 || len(b.Records) != 1000 {
+		t.Fatalf("record counts %d/%d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	c := p.Generate(1000, 43)
+	same := 0
+	for i := range a.Records {
+		if a.Records[i] == c.Records[i] {
+			same++
+		}
+	}
+	if same == len(a.Records) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateRespectsProfile(t *testing.T) {
+	for _, p := range Catalog() {
+		tr := p.Generate(5000, 1)
+		writes := 0
+		var span int64
+		var lo, hi int64 = 1 << 62, 0
+		for _, r := range tr.Records {
+			if r.Write {
+				writes++
+			}
+			if r.Addr < lo {
+				lo = r.Addr
+			}
+			if r.Addr > hi {
+				hi = r.Addr
+			}
+			if r.Gap < 0 {
+				t.Fatalf("%s: negative gap", p.Name)
+			}
+		}
+		span = hi - lo
+		if span > p.WorkingSetBytes+(1<<26) {
+			t.Errorf("%s: span %d exceeds working set %d", p.Name, span, p.WorkingSetBytes)
+		}
+		wr := float64(writes) / float64(len(tr.Records))
+		if p.WriteRatio > 0 && (wr < p.WriteRatio-0.05 || wr > p.WriteRatio+0.05) {
+			t.Errorf("%s: write ratio %.3f, want ≈%.2f", p.Name, wr, p.WriteRatio)
+		}
+		// Mean gap tracks MemFraction: gap ≈ 1/f − 1.
+		totalInsts := tr.Instructions()
+		memFrac := float64(len(tr.Records)) / float64(totalInsts)
+		if memFrac < p.MemFraction*0.7 || memFrac > p.MemFraction*1.3 {
+			t.Errorf("%s: memory fraction %.4f, want ≈%.4f", p.Name, memFrac, p.MemFraction)
+		}
+	}
+}
+
+func TestPassOffsetWrapsWithinSpan(t *testing.T) {
+	p := Catalog()[2]
+	tr := p.Generate(100, 9)
+	f := func(pass uint16) bool {
+		off := tr.PassOffset(int64(pass))
+		return off >= 0 && off < tr.Span
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if tr.PassOffset(0) != 0 {
+		t.Error("pass 0 must have zero offset")
+	}
+	// Different passes shift the window.
+	if tr.PassOffset(1) == 0 {
+		t.Error("pass 1 offset is zero; replays would be cache-resident")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := Catalog()[5]
+	orig := p.Generate(500, 3)
+	var buf bytes.Buffer
+	if err := orig.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name {
+		t.Errorf("name %q, want %q", got.Name, orig.Name)
+	}
+	if len(got.Records) != len(orig.Records) {
+		t.Fatalf("records %d, want %d", len(got.Records), len(orig.Records))
+	}
+	for i := range got.Records {
+		if got.Records[i] != orig.Records[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"1 2",             // missing op
+		"x 2 R",           // bad gap
+		"1 y R",           // bad addr
+		"1 2 Q",           // bad op
+		"-1 2 R",          // negative gap
+		"1 -2 W",          // negative addr
+		"1 2 R extra bit", // too many fields
+	}
+	for _, c := range cases {
+		if _, err := Decode(strings.NewReader(c)); err == nil {
+			t.Errorf("malformed line %q accepted", c)
+		}
+	}
+	// Comments and blank lines are fine.
+	tr, err := Decode(strings.NewReader("# trace foo records=1\n\n3 128 W\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "foo" || len(tr.Records) != 1 || !tr.Records[0].Write {
+		t.Errorf("decoded %+v", tr)
+	}
+}
+
+func TestMixesShapeAndDeterminism(t *testing.T) {
+	a := Mixes(48, 8, 100, 1)
+	if len(a) != 48 {
+		t.Fatalf("mixes = %d", len(a))
+	}
+	for _, m := range a {
+		if len(m.Traces) != 8 {
+			t.Fatalf("%s has %d traces", m.Name, len(m.Traces))
+		}
+	}
+	b := Mixes(48, 8, 100, 1)
+	for i := range a {
+		for c := range a[i].Traces {
+			if a[i].Traces[c].Name != b[i].Traces[c].Name {
+				t.Fatal("mix drawing not deterministic")
+			}
+		}
+	}
+}
+
+func TestInstructionsCount(t *testing.T) {
+	tr := &Trace{Records: []Record{{Gap: 3}, {Gap: 0}, {Gap: 7}}}
+	if got := tr.Instructions(); got != 13 {
+		t.Errorf("instructions = %d, want 13", got)
+	}
+	if tr.MemoryAccesses() != 3 {
+		t.Error("memory accesses != 3")
+	}
+}

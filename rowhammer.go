@@ -1,0 +1,233 @@
+// Package rowhammer is the public API of this reproduction of
+// "Revisiting RowHammer: An Experimental Analysis of Modern DRAM Devices
+// and Mitigation Techniques" (Kim et al., ISCA 2020).
+//
+// It exposes four layers:
+//
+//   - The fault model (Chip, ChipConfig, Pattern): simulated DRAM chips
+//     with RowHammer protection disabled, calibrated to the paper's 1580
+//     real chips.
+//   - The characterization harness (Tester): the paper's Algorithm 1
+//     methodology — double-sided hammering with refresh disabled — plus
+//     the measurements behind Tables 2–5 and Figures 4–9.
+//   - The chip population (Modules, NewPopulation): the 300-module /
+//     1580-chip census of Tables 1, 7 and 8.
+//   - The system simulator and mitigation mechanisms (SimConfig, RunSim,
+//     NewPARA, …): the cycle-accurate Section 6 evaluation behind
+//     Figure 10.
+//
+// The experiment runners (RunTable1 … RunFigure10) regenerate every table
+// and figure of the paper; see EXPERIMENTS.md for paper-vs-measured
+// values.
+package rowhammer
+
+import (
+	"repro/internal/charact"
+	"repro/internal/chips"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/faultmodel"
+	"repro/internal/memctrl"
+	"repro/internal/mitigation"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// --- Fault model -------------------------------------------------------
+
+// Chip is a simulated DRAM chip with RowHammer protection disabled.
+type Chip = faultmodel.Chip
+
+// ChipConfig describes a chip's geometry and RowHammer vulnerability.
+type ChipConfig = faultmodel.Config
+
+// Flip is one observed bit flip.
+type Flip = faultmodel.Flip
+
+// Pattern is a DRAM data pattern (Solid, ColStripe, Checkered, RowStripe).
+type Pattern = faultmodel.Pattern
+
+// Data patterns of Section 4.3.
+const (
+	Solid0     = faultmodel.Solid0
+	Solid1     = faultmodel.Solid1
+	ColStripe0 = faultmodel.ColStripe0
+	ColStripe1 = faultmodel.ColStripe1
+	Checkered0 = faultmodel.Checkered0
+	Checkered1 = faultmodel.Checkered1
+	RowStripe0 = faultmodel.RowStripe0
+	RowStripe1 = faultmodel.RowStripe1
+)
+
+// NewChip builds a chip from its configuration.
+func NewChip(cfg ChipConfig) (*Chip, error) { return faultmodel.NewChip(cfg) }
+
+// --- Characterization --------------------------------------------------
+
+// Tester drives a chip through the paper's testing methodology.
+type Tester = charact.Tester
+
+// HCFirstOptions controls the first-flip search.
+type HCFirstOptions = charact.HCFirstOptions
+
+// NewTester prepares a chip for characterization on one bank.
+func NewTester(chip *Chip, bank int) (*Tester, error) { return charact.NewTester(chip, bank) }
+
+// --- Population --------------------------------------------------------
+
+// ModuleSpec is one DRAM module of the population (Tables 7 and 8).
+type ModuleSpec = chips.ModuleSpec
+
+// ChipSpec is one chip of the population.
+type ChipSpec = chips.ChipSpec
+
+// Population is the instantiable chip population.
+type Population = chips.Population
+
+// Scale selects chip geometry and instantiation caps.
+type Scale = chips.Scale
+
+// TypeNode identifies a DRAM type-node configuration (e.g. LPDDR4-1y).
+type TypeNode = chips.TypeNode
+
+// Predefined population scales.
+var (
+	ScaleTiny   = chips.ScaleTiny
+	ScaleSmall  = chips.ScaleSmall
+	ScaleMedium = chips.ScaleMedium
+	ScaleFull   = chips.ScaleFull
+)
+
+// AllModules returns the paper's full 300-module population.
+func AllModules() []ModuleSpec { return chips.AllModules() }
+
+// DDR3Modules, DDR4Modules and LPDDR4Modules return the per-type module
+// lists (Tables 8, 7, and the synthesized LPDDR4 set).
+func DDR3Modules() []ModuleSpec   { return chips.DDR3Modules() }
+func DDR4Modules() []ModuleSpec   { return chips.DDR4Modules() }
+func LPDDR4Modules() []ModuleSpec { return chips.LPDDR4Modules() }
+
+// NewPopulation samples per-chip vulnerabilities for a module list.
+func NewPopulation(modules []ModuleSpec, scale Scale, seed uint64) *Population {
+	return chips.NewPopulation(modules, scale, seed)
+}
+
+// --- Experiments -------------------------------------------------------
+
+// Options scales the characterization experiments.
+type Options = core.Options
+
+// MitigationOptions scales the Figure 10 evaluation.
+type MitigationOptions = core.MitigationOptions
+
+// DefaultOptions returns CLI-scale characterization options.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// DefaultMitigationOptions returns CLI-scale mitigation options.
+func DefaultMitigationOptions() MitigationOptions { return core.DefaultMitigationOptions() }
+
+// Experiment runners, one per paper artifact.
+var (
+	RunTable1  = core.RunTable1
+	RunTable2  = core.RunTable2
+	RunTable3  = core.RunTable3
+	RunTable5  = core.RunTable5
+	RunTable7  = core.RunTable7
+	RunTable8  = core.RunTable8
+	RunFigure4 = core.RunFigure4
+	RunFigure5 = core.RunFigure5
+	RunFigure6 = core.RunFigure6
+	RunFigure7 = core.RunFigure7
+	RunFigure9 = core.RunFigure9
+
+	// RunHCFirstStudy backs both Figure 8 and Table 4.
+	RunHCFirstStudy = core.RunHCFirstStudy
+
+	// RunFigure10 is the mitigation-mechanism evaluation.
+	RunFigure10 = core.RunFigure10
+)
+
+// --- System simulation -------------------------------------------------
+
+// SimConfig describes one simulated system (Table 6).
+type SimConfig = sim.Config
+
+// SimResult reports one simulation run.
+type SimResult = sim.Result
+
+// Mix is a multi-programmed workload.
+type Mix = trace.Mix
+
+// Mechanism is a RowHammer mitigation mechanism.
+type Mechanism = mitigation.Mechanism
+
+// MitigationParams parameterizes a mechanism for a chip's HCfirst.
+type MitigationParams = mitigation.Params
+
+// Table6SimConfig returns the paper's simulated system configuration.
+func Table6SimConfig(warmup, measure int64) SimConfig { return sim.Table6Config(warmup, measure) }
+
+// RunSim simulates a mix on a configuration.
+func RunSim(cfg SimConfig, mix Mix) (*SimResult, error) { return sim.Run(cfg, mix) }
+
+// WorkloadMixes builds deterministic multi-programmed mixes.
+func WorkloadMixes(n, cores, records int, seed uint64) []Mix {
+	return trace.Mixes(n, cores, records, seed)
+}
+
+// Mechanism constructors (Section 6.1).
+func NewPARA(p MitigationParams, tckPS int64) (Mechanism, error) {
+	return mitigation.NewPARA(p, tckPS)
+}
+func NewIncreasedRefresh(p MitigationParams) (Mechanism, error) {
+	return mitigation.NewIncreasedRefresh(p)
+}
+func NewProHIT(p MitigationParams) (Mechanism, error) { return mitigation.NewProHIT(p) }
+func NewMRLoc(p MitigationParams) (Mechanism, error)  { return mitigation.NewMRLoc(p) }
+func NewTWiCe(p MitigationParams, ideal bool) (Mechanism, error) {
+	return mitigation.NewTWiCe(p, ideal)
+}
+func NewIdealMechanism(p MitigationParams) (Mechanism, error) { return mitigation.NewIdeal(p) }
+
+// DDR4Timing returns the DDR4-2400 timing set used by the simulations.
+func DDR4Timing(rowsPerBank int) dram.Timing { return dram.DDR4_2400(rowsPerBank) }
+
+// --- DRAM substrate ------------------------------------------------------
+
+// Channel is a cycle-accurate DRAM channel state machine.
+type Channel = dram.Channel
+
+// Geometry describes a channel's structure.
+type Geometry = dram.Geometry
+
+// Address is a (rank, bank, row, column) coordinate.
+type Address = dram.Address
+
+// AddressMapper translates byte addresses to DRAM coordinates and back.
+type AddressMapper = dram.AddressMapper
+
+// Timing holds JEDEC timing parameters in memory-clock cycles.
+type Timing = dram.Timing
+
+// MemController is the FR-FCFS memory controller with the mitigation hook.
+type MemController = memctrl.Controller
+
+// MemControllerConfig sizes the controller queues.
+type MemControllerConfig = memctrl.Config
+
+// Table6Geometry returns the paper's simulated DRAM geometry.
+func Table6Geometry() Geometry { return dram.Table6Geometry() }
+
+// NewChannel builds a DRAM channel.
+func NewChannel(geo Geometry, t Timing) (*Channel, error) { return dram.NewChannel(geo, t) }
+
+// NewAddressMapper builds the address translator for a geometry.
+func NewAddressMapper(geo Geometry) (*AddressMapper, error) { return dram.NewAddressMapper(geo) }
+
+// NewMemController builds a controller over a channel; mech may be nil.
+func NewMemController(cfg MemControllerConfig, ch *Channel, mech Mechanism) (*MemController, error) {
+	return memctrl.New(cfg, ch, mech)
+}
+
+// Table6MemControllerConfig returns the paper's controller parameters.
+func Table6MemControllerConfig() MemControllerConfig { return memctrl.Table6Config() }

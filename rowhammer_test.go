@@ -1,0 +1,102 @@
+package rowhammer_test
+
+import (
+	"testing"
+
+	rowhammer "repro"
+)
+
+// TestPublicAPIQuickstart exercises the README's quickstart path through
+// the facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	chip, err := rowhammer.NewChip(rowhammer.ChipConfig{
+		Name: "api-test", Banks: 1, Rows: 256, RowBits: 1024,
+		HCFirst: 8_000, Rate150k: 1e-4,
+		WorstPattern: rowhammer.RowStripe0, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tester, err := rowhammer.NewTester(chip, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tester.WritePattern(rowhammer.RowStripe0)
+	victim := chip.WeakestCell().Row
+	flips, err := tester.HammerDoubleSided(victim, 3*8_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flips) == 0 {
+		t.Fatal("no flips above threshold")
+	}
+	hc, found, err := tester.MeasureHCFirst(rowhammer.HCFirstOptions{})
+	if err != nil || !found {
+		t.Fatalf("HCfirst not found: %v", err)
+	}
+	if hc < 4_000 || hc > 14_000 {
+		t.Errorf("measured HCfirst %d far from 8k", hc)
+	}
+}
+
+func TestPublicAPIPopulation(t *testing.T) {
+	pop := rowhammer.NewPopulation(rowhammer.AllModules(), rowhammer.ScaleTiny, 1)
+	if len(pop.Chips) == 0 {
+		t.Fatal("empty population")
+	}
+	if len(pop.Census()) == 0 {
+		t.Fatal("empty census")
+	}
+	chip, err := pop.Instantiate(pop.Chips[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chip.Rows() != rowhammer.ScaleTiny.Rows {
+		t.Errorf("instantiated rows = %d", chip.Rows())
+	}
+}
+
+func TestPublicAPISimulation(t *testing.T) {
+	cfg := rowhammer.Table6SimConfig(500, 4_000)
+	mix := rowhammer.WorkloadMixes(1, 2, 500, 1)[0]
+	res, err := rowhammer.RunSim(cfg, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalIPC() <= 0 {
+		t.Fatal("zero IPC")
+	}
+	para, err := rowhammer.NewPARA(cfg.MitigationParams(1_000, 1), cfg.T.TCKPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Mechanism = para
+	res2, err := rowhammer.RunSim(cfg, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Mechanism != "PARA" {
+		t.Errorf("mechanism = %q", res2.Mechanism)
+	}
+}
+
+func TestPublicAPIExperimentRunners(t *testing.T) {
+	o := rowhammer.DefaultOptions()
+	o.Scale = rowhammer.ScaleTiny
+	o.MaxChipsPerConfig = 1
+	o.Iterations = 2
+	t1, err := rowhammer.RunTable1(o)
+	if err != nil || len(t1.Rows) == 0 {
+		t.Fatalf("Table 1: %v", err)
+	}
+	t2, err := rowhammer.RunTable2(o)
+	if err != nil || len(t2.Rows) != 6 {
+		t.Fatalf("Table 2: %v", err)
+	}
+	if len(rowhammer.RunTable7().Modules) != 110 {
+		t.Error("Table 7 module count")
+	}
+	if len(rowhammer.RunTable8().Modules) != 60 {
+		t.Error("Table 8 module count")
+	}
+}
