@@ -7,6 +7,11 @@
 //	rhchar -all
 //	rhchar -table 4 -scale medium
 //	rhchar -figure 6 -chips 8 -stride 2
+//	rhchar -figure 8 -parallel 4
+//
+// Experiments fan out over the chip grid on the deterministic parallel
+// engine (internal/engine): -parallel changes wall-clock time only, never
+// the output.
 package main
 
 import (
@@ -20,14 +25,15 @@ import (
 
 func main() {
 	var (
-		tableN  = flag.Int("table", 0, "reproduce one table (1,2,3,4,5,7,8)")
-		figureN = flag.Int("figure", 0, "reproduce one figure (4,5,6,7,8,9)")
-		all     = flag.Bool("all", false, "run every characterization artifact")
-		scale   = flag.String("scale", "small", "chip geometry: tiny, small, medium, full")
-		nChips  = flag.Int("chips", 4, "max instantiated chips per configuration (0 = all)")
-		stride  = flag.Int("stride", 1, "victim-row stride for full-chip sweeps")
-		iters   = flag.Int("iters", 0, "iterations for repeated experiments (0 = paper defaults)")
-		seed    = flag.Uint64("seed", 1, "population seed")
+		tableN   = flag.Int("table", 0, "reproduce one table (1,2,3,4,5,7,8)")
+		figureN  = flag.Int("figure", 0, "reproduce one figure (4,5,6,7,8,9)")
+		all      = flag.Bool("all", false, "run every characterization artifact")
+		scale    = flag.String("scale", "small", "chip geometry: tiny, small, medium, full")
+		nChips   = flag.Int("chips", 4, "max instantiated chips per configuration (0 = all)")
+		stride   = flag.Int("stride", 1, "victim-row stride for full-chip sweeps")
+		iters    = flag.Int("iters", 0, "iterations for repeated experiments (0 = paper defaults)")
+		parallel = flag.Int("parallel", 0, "concurrent chip experiments (0 = all cores; output is identical for any value)")
+		seed     = flag.Uint64("seed", 1, "population seed")
 	)
 	flag.Parse()
 
@@ -35,6 +41,7 @@ func main() {
 		Stride:            *stride,
 		MaxChipsPerConfig: *nChips,
 		Iterations:        *iters,
+		Parallelism:       *parallel,
 		Seed:              *seed,
 	}
 	switch *scale {

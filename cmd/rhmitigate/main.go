@@ -30,7 +30,7 @@ func main() {
 		insts    = flag.Int64("insts", 50000, "measured instructions per core")
 		mechsStr = flag.String("mechs", "", "comma-separated mechanisms (default: all)")
 		hcStr    = flag.String("hc", "", "comma-separated HCfirst sweep points (default: paper sweep)")
-		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = all cores; output is identical for any value)")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		showCfg  = flag.Bool("config", false, "print the simulated system configuration (Table 6) and exit")
 	)

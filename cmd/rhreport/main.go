@@ -22,16 +22,17 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "tiny scale, seconds")
-		full  = flag.Bool("full", false, "full scale, hours")
-		seed  = flag.Uint64("seed", 1, "seed")
+		quick    = flag.Bool("quick", false, "tiny scale, seconds")
+		full     = flag.Bool("full", false, "full scale, hours")
+		parallel = flag.Int("parallel", 0, "concurrent experiment tasks (0 = all cores; output is identical for any value)")
+		seed     = flag.Uint64("seed", 1, "seed")
 	)
 	flag.Parse()
 
-	o := core.Options{Scale: chips.ScaleSmall, MaxChipsPerConfig: 4, Seed: *seed}
+	o := core.Options{Scale: chips.ScaleSmall, MaxChipsPerConfig: 4, Parallelism: *parallel, Seed: *seed}
 	mo := core.MitigationOptions{
 		Mixes: 12, Cores: 8, TraceRecords: 3000,
-		WarmupInsts: 5000, MeasureInsts: 30000, Seed: *seed,
+		WarmupInsts: 5000, MeasureInsts: 30000, Parallelism: *parallel, Seed: *seed,
 	}
 	switch {
 	case *quick:
@@ -47,6 +48,7 @@ func main() {
 		o.Scale = chips.ScaleMedium
 		o.MaxChipsPerConfig = 0
 		mo = core.DefaultMitigationOptions()
+		mo.Parallelism = *parallel
 		mo.Seed = *seed
 	}
 

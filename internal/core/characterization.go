@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/charact"
 	"repro/internal/chips"
+	"repro/internal/engine"
 	"repro/internal/faultmodel"
 	"repro/internal/stats"
 )
@@ -24,6 +25,58 @@ func newTester(pop *chips.Population, spec chips.ChipSpec) (*charact.Tester, err
 	}
 	t.WritePattern(chip.Config().WorstPattern)
 	return t, nil
+}
+
+// chipJob is one (configuration, chip) cell of an experiment fan-out. Every
+// job is self-contained — it instantiates its own chip from the spec's seed
+// — so the engine can run jobs in any order without coupling results.
+type chipJob struct {
+	cfg  int // index into the runner's ConfigKey slice
+	key  ConfigKey
+	spec chips.ChipSpec
+}
+
+// chipGrid flattens the per-configuration chip lists into a flat task list
+// in configuration order, optionally filtering chips. Task order doubles as
+// aggregation order, so per-configuration statistics accumulate exactly as
+// the original serial loops did.
+func chipGrid(keys []ConfigKey, byCfg map[ConfigKey][]chips.ChipSpec, keep func(ConfigKey, chips.ChipSpec) bool) []chipJob {
+	var jobs []chipJob
+	for ci, k := range keys {
+		for _, spec := range byCfg[k] {
+			if keep != nil && !keep(k, spec) {
+				continue
+			}
+			jobs = append(jobs, chipJob{cfg: ci, key: k, spec: spec})
+		}
+	}
+	return jobs
+}
+
+// repGrid builds one job per configuration using its representative chip.
+func repGrid(keys []ConfigKey, byCfg map[ConfigKey][]chips.ChipSpec, keep func(ConfigKey, chips.ChipSpec) bool) []chipJob {
+	var jobs []chipJob
+	for ci, k := range keys {
+		spec, ok := representative(byCfg[k])
+		if !ok {
+			continue
+		}
+		if keep != nil && !keep(k, spec) {
+			continue
+		}
+		jobs = append(jobs, chipJob{cfg: ci, key: k, spec: spec})
+	}
+	return jobs
+}
+
+// groupByConfig buckets engine results back into per-configuration lists,
+// preserving task order within each configuration.
+func groupByConfig[R any](nCfg int, jobs []chipJob, results []R) [][]R {
+	out := make([][]R, nCfg)
+	for i, j := range jobs {
+		out[j.cfg] = append(out[j.cfg], results[i])
+	}
+	return out
 }
 
 // --- Table 1 ---------------------------------------------------------------
@@ -59,15 +112,21 @@ type Table2 struct {
 func RunTable2(o Options) (*Table2, error) {
 	o = o.normalized()
 	counts := chips.SpecRowHammerable(o.Modules, o.Seed)
-	t := &Table2{}
+	var keys []ConfigKey
 	for _, k := range ConfigKeys() {
 		if k.Node.Type != chips.DDR3Old.Type {
 			continue
 		}
-		v := counts[k.Node][k.Mfr]
-		t.Rows = append(t.Rows, Table2Row{Key: k, Vulnerable: v[0], Total: v[1]})
+		keys = append(keys, k)
 	}
-	return t, nil
+	rows, err := engine.Map(o.engine(), keys, func(_ engine.TaskContext, k ConfigKey) (Table2Row, error) {
+		v := counts[k.Node][k.Mfr]
+		return Table2Row{Key: k, Vulnerable: v[0], Total: v[1]}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Table2{Rows: rows}, nil
 }
 
 // --- Figure 4 / Table 3 ----------------------------------------------------
@@ -102,14 +161,11 @@ func RunFigure4(o Options) (*Figure4, error) {
 		iters = 10
 	}
 	fig := &Figure4{HC: 150_000}
-	for _, k := range ConfigKeys() {
-		spec, ok := representative(byCfg[k])
-		if !ok {
-			continue
-		}
-		t, err := newTester(pop, spec)
+	jobs := repGrid(ConfigKeys(), byCfg, nil)
+	rows, err := engine.Map(o.engine(), jobs, func(_ engine.TaskContext, j chipJob) (CoverageRow, error) {
+		t, err := newTester(pop, j.spec)
 		if err != nil {
-			return nil, err
+			return CoverageRow{}, err
 		}
 		hc := fig.HC
 		if hc > t.MaxHC {
@@ -117,19 +173,23 @@ func RunFigure4(o Options) (*Figure4, error) {
 		}
 		cov, err := t.MeasureCoverage(hc, iters, o.Stride)
 		if err != nil {
-			return nil, fmt.Errorf("coverage %v: %w", k, err)
+			return CoverageRow{}, fmt.Errorf("coverage %v: %w", j.key, err)
 		}
 		worst, wok := cov.WorstPattern()
-		fig.Rows = append(fig.Rows, CoverageRow{
-			Key:        k,
-			Chip:       spec.Name,
+		return CoverageRow{
+			Key:        j.key,
+			Chip:       j.spec.Name,
 			Coverage:   cov.Coverage,
 			TotalFlips: cov.Total,
 			Worst:      worst,
 			WorstOK:    wok,
-			PaperWorst: chips.WorstPattern(k.Node, k.Mfr),
-		})
+			PaperWorst: chips.WorstPattern(j.key.Node, j.key.Mfr),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	fig.Rows = rows
 	return fig, nil
 }
 
@@ -172,29 +232,35 @@ func RunFigure5(o Options) (*Figure5, error) {
 	pop := o.population()
 	byCfg := o.chipsByConfig(pop)
 	hcs := charact.DefaultRateHCs()
+	keys := ConfigKeys()
+	jobs := chipGrid(keys, byCfg, nil)
+	curves, err := engine.Map(o.engine(), jobs, func(_ engine.TaskContext, j chipJob) (map[int]float64, error) {
+		t, err := newTester(pop, j.spec)
+		if err != nil {
+			return nil, err
+		}
+		curve, err := t.RateCurve(hcs, o.Stride)
+		if err != nil {
+			return nil, fmt.Errorf("rate curve %v: %w", j.key, err)
+		}
+		return curve, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	fig := &Figure5{HCs: hcs}
-	for _, k := range ConfigKeys() {
-		specs := byCfg[k]
-		if len(specs) == 0 {
+	for ci, perChip := range groupByConfig(len(keys), jobs, curves) {
+		if len(perChip) == 0 {
 			continue
 		}
 		sums := make(map[int]float64, len(hcs))
-		n := 0
-		for _, spec := range specs {
-			t, err := newTester(pop, spec)
-			if err != nil {
-				return nil, err
-			}
-			curve, err := t.RateCurve(hcs, o.Stride)
-			if err != nil {
-				return nil, fmt.Errorf("rate curve %v: %w", k, err)
-			}
+		for _, curve := range perChip {
 			for hc, r := range curve {
 				sums[hc] += r
 			}
-			n++
 		}
-		s := RateSeries{Key: k, Points: make(map[int]float64), Chips: n}
+		n := len(perChip)
+		s := RateSeries{Key: keys[ci], Points: make(map[int]float64), Chips: n}
 		var xs, ys []float64
 		for _, hc := range hcs {
 			mean := sums[hc] / float64(n)
@@ -233,6 +299,12 @@ type Figure6 struct {
 	Rows       []SpatialRow
 }
 
+// spatialSample is one chip's Figure 6 measurement; nil marks a chip that
+// produced no flips at the normalized rate.
+type spatialSample struct {
+	fraction map[int]float64
+}
+
 // RunFigure6 normalizes each chip to a flip rate of ~1e-6 (the paper's
 // procedure) and profiles flip locations.
 func RunFigure6(o Options) (*Figure6, error) {
@@ -240,33 +312,37 @@ func RunFigure6(o Options) (*Figure6, error) {
 	pop := o.population()
 	byCfg := o.chipsByConfig(pop)
 	fig := &Figure6{TargetRate: 1e-6}
-	for _, k := range ConfigKeys() {
-		specs := byCfg[k]
-		if len(specs) == 0 {
-			continue
+	keys := ConfigKeys()
+	jobs := chipGrid(keys, byCfg, func(_ ConfigKey, s chips.ChipSpec) bool { return s.RowHammerable() })
+	samples, err := engine.Map(o.engine(), jobs, func(_ engine.TaskContext, j chipJob) (*spatialSample, error) {
+		t, err := newTester(pop, j.spec)
+		if err != nil {
+			return nil, err
 		}
+		hc, err := t.HCForRate(fig.TargetRate, o.Stride)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := t.MeasureSpatial(hc, o.Stride)
+		if err != nil {
+			return nil, err
+		}
+		if sp.Total == 0 {
+			return nil, nil
+		}
+		return &spatialSample{fraction: sp.Fraction}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, group := range groupByConfig(len(keys), jobs, samples) {
 		perOffset := make(map[int][]float64)
 		n := 0
-		for _, spec := range specs {
-			if !spec.RowHammerable() {
+		for _, s := range group {
+			if s == nil {
 				continue
 			}
-			t, err := newTester(pop, spec)
-			if err != nil {
-				return nil, err
-			}
-			hc, err := t.HCForRate(fig.TargetRate, o.Stride)
-			if err != nil {
-				return nil, err
-			}
-			sp, err := t.MeasureSpatial(hc, o.Stride)
-			if err != nil {
-				return nil, err
-			}
-			if sp.Total == 0 {
-				continue
-			}
-			for off, f := range sp.Fraction {
+			for off, f := range s.fraction {
 				perOffset[off] = append(perOffset[off], f)
 			}
 			n++
@@ -274,7 +350,7 @@ func RunFigure6(o Options) (*Figure6, error) {
 		if n == 0 {
 			continue
 		}
-		row := SpatialRow{Key: k, Mean: make(map[int]float64), StdDev: make(map[int]float64), Chips: n}
+		row := SpatialRow{Key: keys[ci], Mean: make(map[int]float64), StdDev: make(map[int]float64), Chips: n}
 		for off, fs := range perOffset {
 			// Chips without flips at this offset contribute zero.
 			for len(fs) < n {
@@ -302,6 +378,12 @@ type Figure7 struct {
 	Rows       []WordDensityRow
 }
 
+// wordSample is one chip's Figure 7 measurement; nil marks a chip whose
+// normalized run produced no flip-containing words.
+type wordSample struct {
+	fraction [6]float64
+}
+
 // RunFigure7 measures the flip-density distribution per 64-bit word at
 // the same normalized rate as Figure 6.
 func RunFigure7(o Options) (*Figure7, error) {
@@ -309,41 +391,48 @@ func RunFigure7(o Options) (*Figure7, error) {
 	pop := o.population()
 	byCfg := o.chipsByConfig(pop)
 	fig := &Figure7{TargetRate: 1e-6}
-	for _, k := range ConfigKeys() {
-		specs := byCfg[k]
-		var samples [6][]float64
+	keys := ConfigKeys()
+	jobs := chipGrid(keys, byCfg, func(_ ConfigKey, s chips.ChipSpec) bool { return s.RowHammerable() })
+	samples, err := engine.Map(o.engine(), jobs, func(_ engine.TaskContext, j chipJob) (*wordSample, error) {
+		t, err := newTester(pop, j.spec)
+		if err != nil {
+			return nil, err
+		}
+		hc, err := t.HCForRate(fig.TargetRate, o.Stride)
+		if err != nil {
+			return nil, err
+		}
+		wd, err := t.MeasureWordDensity(hc, o.Stride)
+		if err != nil {
+			return nil, err
+		}
+		if wd.Words == 0 {
+			return nil, nil
+		}
+		return &wordSample{fraction: wd.Fraction}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, group := range groupByConfig(len(keys), jobs, samples) {
+		var perK [6][]float64
 		n := 0
-		for _, spec := range specs {
-			if !spec.RowHammerable() {
-				continue
-			}
-			t, err := newTester(pop, spec)
-			if err != nil {
-				return nil, err
-			}
-			hc, err := t.HCForRate(fig.TargetRate, o.Stride)
-			if err != nil {
-				return nil, err
-			}
-			wd, err := t.MeasureWordDensity(hc, o.Stride)
-			if err != nil {
-				return nil, err
-			}
-			if wd.Words == 0 {
+		for _, s := range group {
+			if s == nil {
 				continue
 			}
 			for i := 1; i <= 5; i++ {
-				samples[i] = append(samples[i], wd.Fraction[i])
+				perK[i] = append(perK[i], s.fraction[i])
 			}
 			n++
 		}
 		if n == 0 {
 			continue
 		}
-		row := WordDensityRow{Key: k, Chips: n}
+		row := WordDensityRow{Key: keys[ci], Chips: n}
 		for i := 1; i <= 5; i++ {
-			row.Fraction[i] = stats.Mean(samples[i])
-			row.StdDev[i] = stats.StdDev(samples[i])
+			row.Fraction[i] = stats.Mean(perK[i])
+			row.StdDev[i] = stats.StdDev(perK[i])
 		}
 		fig.Rows = append(fig.Rows, row)
 	}
@@ -368,33 +457,47 @@ type HCFirstStudy struct {
 	Rows []HCFirstRow
 }
 
+// hcFirstSample is one chip's first-flip search result.
+type hcFirstSample struct {
+	hc    float64
+	found bool
+}
+
 // RunHCFirstStudy measures HCfirst for every instantiated chip.
 func RunHCFirstStudy(o Options) (*HCFirstStudy, error) {
 	o = o.normalized()
 	pop := o.population()
 	byCfg := o.chipsByConfig(pop)
+	keys := ConfigKeys()
+	jobs := chipGrid(keys, byCfg, nil)
+	samples, err := engine.Map(o.engine(), jobs, func(_ engine.TaskContext, j chipJob) (hcFirstSample, error) {
+		t, err := newTester(pop, j.spec)
+		if err != nil {
+			return hcFirstSample{}, err
+		}
+		hc, found, err := t.MeasureHCFirst(charact.HCFirstOptions{Stride: o.Stride})
+		if err != nil {
+			return hcFirstSample{}, fmt.Errorf("hcfirst %s: %w", j.spec.Name, err)
+		}
+		return hcFirstSample{hc: float64(hc), found: found}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	study := &HCFirstStudy{}
-	for _, k := range ConfigKeys() {
-		specs := byCfg[k]
-		if len(specs) == 0 {
+	for ci, group := range groupByConfig(len(keys), jobs, samples) {
+		if len(group) == 0 {
 			continue
 		}
+		k := keys[ci]
 		row := HCFirstRow{Key: k}
 		row.PaperMin, _ = chips.PaperHCFirst(k.Node, k.Mfr)
-		for _, spec := range specs {
-			t, err := newTester(pop, spec)
-			if err != nil {
-				return nil, err
-			}
-			hc, found, err := t.MeasureHCFirst(charact.HCFirstOptions{Stride: o.Stride})
-			if err != nil {
-				return nil, fmt.Errorf("hcfirst %s: %w", spec.Name, err)
-			}
-			if !found {
+		for _, s := range group {
+			if !s.found {
 				row.NoFlips++
 				continue
 			}
-			row.Measured = append(row.Measured, float64(hc))
+			row.Measured = append(row.Measured, s.hc)
 		}
 		if len(row.Measured) > 0 {
 			box, err := stats.NewBoxPlot(row.Measured)
@@ -429,43 +532,64 @@ type Figure9 struct {
 	Rows []ECCRow
 }
 
+// eccSample is one chip's word-granularity analysis.
+type eccSample struct {
+	hc     [4]float64
+	found  [4]bool
+	mult   [3]float64
+	multOK [3]bool
+}
+
 // RunFigure9 computes HCfirst/second/third at 64-bit granularity per
 // configuration.
 func RunFigure9(o Options) (*Figure9, error) {
 	o = o.normalized()
 	pop := o.population()
 	byCfg := o.chipsByConfig(pop)
-	fig := &Figure9{}
+	var keys []ConfigKey
 	for _, k := range ConfigKeys() {
 		if k.Node == chips.LPDDR4x || k.Node == chips.LPDDR4y || k.Node == chips.DDR3Old {
 			continue
 		}
-		specs := byCfg[k]
+		keys = append(keys, k)
+	}
+	jobs := chipGrid(keys, byCfg, func(_ ConfigKey, s chips.ChipSpec) bool { return s.RowHammerable() })
+	samples, err := engine.Map(o.engine(), jobs, func(_ engine.TaskContext, j chipJob) (eccSample, error) {
+		t, err := newTester(pop, j.spec)
+		if err != nil {
+			return eccSample{}, err
+		}
+		a := t.AnalyzeECCWords()
+		var s eccSample
+		for kk := 1; kk <= 3; kk++ {
+			s.hc[kk], s.found[kk] = a.HC[kk], a.Found[kk]
+		}
+		for kk := 1; kk <= 2; kk++ {
+			s.mult[kk], s.multOK[kk] = a.Multiplier(kk)
+		}
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure9{}
+	for ci, group := range groupByConfig(len(keys), jobs, samples) {
+		if len(group) == 0 {
+			continue
+		}
 		var hcs [4][]float64
-		row := ECCRow{Key: k}
-		for _, spec := range specs {
-			if !spec.RowHammerable() {
-				continue
-			}
-			t, err := newTester(pop, spec)
-			if err != nil {
-				return nil, err
-			}
-			a := t.AnalyzeECCWords()
+		row := ECCRow{Key: keys[ci], Chips: len(group)}
+		for _, s := range group {
 			for kk := 1; kk <= 3; kk++ {
-				if a.Found[kk] {
-					hcs[kk] = append(hcs[kk], a.HC[kk])
+				if s.found[kk] {
+					hcs[kk] = append(hcs[kk], s.hc[kk])
 				}
 			}
 			for kk := 1; kk <= 2; kk++ {
-				if m, ok := a.Multiplier(kk); ok {
-					row.Multipliers[kk] = append(row.Multipliers[kk], m)
+				if s.multOK[kk] {
+					row.Multipliers[kk] = append(row.Multipliers[kk], s.mult[kk])
 				}
 			}
-			row.Chips++
-		}
-		if row.Chips == 0 {
-			continue
 		}
 		for kk := 1; kk <= 3; kk++ {
 			row.MeanHC[kk] = stats.Mean(hcs[kk])
@@ -503,27 +627,36 @@ func RunTable5(o Options) (*Table5, error) {
 	if iters == 0 {
 		iters = 20
 	}
-	t5 := &Table5{Iterations: iters}
+	var keys []ConfigKey
 	for _, k := range ConfigKeys() {
 		if k.Node == chips.DDR3Old {
 			continue
 		}
-		spec, ok := representative(byCfg[k])
-		if !ok || !spec.RowHammerable() {
-			continue
-		}
-		t, err := newTester(pop, spec)
+		keys = append(keys, k)
+	}
+	jobs := repGrid(keys, byCfg, func(_ ConfigKey, s chips.ChipSpec) bool { return s.RowHammerable() })
+	rows, err := engine.Map(o.engine(), jobs, func(_ engine.TaskContext, j chipJob) (*Table5Row, error) {
+		t, err := newTester(pop, j.spec)
 		if err != nil {
 			return nil, err
 		}
 		m, err := t.MeasureMonotonicity(nil, iters, o.Stride)
 		if err != nil {
-			return nil, fmt.Errorf("monotonicity %v: %w", k, err)
+			return nil, fmt.Errorf("monotonicity %v: %w", j.key, err)
 		}
 		if m.Cells == 0 {
-			continue
+			return nil, nil
 		}
-		t5.Rows = append(t5.Rows, Table5Row{Key: k, Percent: m.Percent(), Cells: m.Cells})
+		return &Table5Row{Key: j.key, Percent: m.Percent(), Cells: m.Cells}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t5 := &Table5{Iterations: iters}
+	for _, r := range rows {
+		if r != nil {
+			t5.Rows = append(t5.Rows, *r)
+		}
 	}
 	return t5, nil
 }

@@ -2,10 +2,9 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/mitigation"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -99,7 +98,7 @@ type MitigationOptions struct {
 	MeasureInsts int64 // per core
 	HCSweep      []int
 	Mechanisms   []MechanismID
-	Parallelism  int // concurrent simulations; 0 = GOMAXPROCS
+	Parallelism  int // concurrent simulations; 0 = all cores
 	Seed         uint64
 }
 
@@ -138,9 +137,6 @@ func (o MitigationOptions) normalized() MitigationOptions {
 	if len(o.Mechanisms) == 0 {
 		o.Mechanisms = AllMechanisms()
 	}
-	if o.Parallelism <= 0 {
-		o.Parallelism = runtime.GOMAXPROCS(0)
-	}
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
@@ -171,56 +167,47 @@ type Figure10 struct {
 
 // RunFigure10 evaluates every mechanism at every applicable HCfirst
 // across the workload mixes. Baseline (no-mitigation) and single-core
-// alone runs are shared across mechanisms.
+// alone runs are shared across mechanisms. Both phases fan out through
+// the experiment engine, so results are identical for any Parallelism.
 func RunFigure10(o MitigationOptions) (*Figure10, error) {
 	o = o.normalized()
 	cfg := sim.Table6Config(o.WarmupInsts, o.MeasureInsts)
 	mixes := trace.Mixes(o.Mixes, o.Cores, o.TraceRecords, o.Seed)
+	eo := engine.Options{Workers: o.Parallelism, Seed: o.Seed}
 
 	// Phase 1: per-mix baselines (parallel over mixes).
+	type mixResult struct {
+		alone []float64
+		base  mixBaseline
+	}
+	mixResults, err := engine.Map(eo, mixes, func(_ engine.TaskContext, mix trace.Mix) (mixResult, error) {
+		alone, err := sim.RunAlone(cfg, mix)
+		if err != nil {
+			return mixResult{}, err
+		}
+		res, err := sim.Run(cfg, mix)
+		if err != nil {
+			return mixResult{}, err
+		}
+		ws, err := sim.WeightedSpeedup(res.IPC, alone)
+		if err != nil {
+			return mixResult{}, err
+		}
+		return mixResult{alone: alone, base: mixBaseline{ws: ws, mpki: res.MPKI}}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	baselines := make([]mixBaseline, len(mixes))
 	alones := make([][]float64, len(mixes))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, o.Parallelism)
-	errs := make([]error, len(mixes))
-	for i := range mixes {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			alone, err := sim.RunAlone(cfg, mixes[i])
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			res, err := sim.Run(cfg, mixes[i])
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			ws, err := sim.WeightedSpeedup(res.IPC, alone)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			alones[i] = alone
-			baselines[i] = mixBaseline{ws: ws, mpki: res.MPKI}
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
 	fig := &Figure10{Mixes: len(mixes)}
-	for _, b := range baselines {
-		fig.MixMPKIs = append(fig.MixMPKIs, b.mpki)
+	for i, r := range mixResults {
+		baselines[i] = r.base
+		alones[i] = r.alone
+		fig.MixMPKIs = append(fig.MixMPKIs, r.base.mpki)
 	}
 
-	// Phase 2: mechanism sweep.
+	// Phase 2: (mechanism, HCfirst) sweep.
 	type job struct {
 		mech MechanismID
 		hc   int
@@ -231,27 +218,15 @@ func RunFigure10(o MitigationOptions) (*Figure10, error) {
 			jobs = append(jobs, job{mech: id, hc: hc})
 		}
 	}
-	points := make([]F10Point, len(jobs))
-	jobErrs := make([]error, len(jobs))
-	for ji, jb := range jobs {
-		wg.Add(1)
-		go func(ji int, jb job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			pt, err := runPoint(cfg, o, jb.mech, jb.hc, mixes, alones, baselines)
-			if err != nil {
-				jobErrs[ji] = err
-				return
-			}
-			points[ji] = *pt
-		}(ji, jb)
-	}
-	wg.Wait()
-	for _, err := range jobErrs {
+	points, err := engine.Map(eo, jobs, func(_ engine.TaskContext, jb job) (F10Point, error) {
+		pt, err := runPoint(cfg, o, jb.mech, jb.hc, mixes, alones, baselines)
 		if err != nil {
-			return nil, err
+			return F10Point{}, err
 		}
+		return *pt, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	fig.Points = points
 	sort.SliceStable(fig.Points, func(i, j int) bool {

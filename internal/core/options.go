@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"repro/internal/chips"
+	"repro/internal/engine"
 	"repro/internal/faultmodel"
 )
 
@@ -27,7 +28,10 @@ type Options struct {
 	// Iterations for repeated-measurement experiments (Figure 4's 10,
 	// Table 5's 20); 0 keeps each experiment's default.
 	Iterations int
-	Seed       uint64
+	// Parallelism bounds concurrent per-chip tasks in the experiment
+	// engine; 0 uses all cores. Results are identical for any value.
+	Parallelism int
+	Seed        uint64
 }
 
 // DefaultOptions is a medium-cost configuration suitable for CLI runs.
@@ -54,6 +58,11 @@ func (o Options) normalized() Options {
 		o.Seed = 1
 	}
 	return o
+}
+
+// engine returns the executor options for this run's fan-outs.
+func (o Options) engine() engine.Options {
+	return engine.Options{Workers: o.Parallelism, Seed: o.Seed}
 }
 
 // ConfigKey identifies one cell of the paper's per-configuration tables.
@@ -92,7 +101,15 @@ func (o Options) chipsByConfig(pop *chips.Population) map[ConfigKey][]chips.Chip
 		m[k] = append(m[k], c)
 	}
 	for k, list := range m {
-		sort.Slice(list, func(i, j int) bool { return list[i].HCFirst < list[j].HCFirst })
+		// Stable sort with a chip-ID tie-break: equal-HCFirst chips must
+		// not depend on incidental input order, or capped selection below
+		// would be irreproducible.
+		sort.SliceStable(list, func(i, j int) bool {
+			if list[i].HCFirst != list[j].HCFirst {
+				return list[i].HCFirst < list[j].HCFirst
+			}
+			return list[i].Name < list[j].Name
+		})
 		if o.MaxChipsPerConfig > 0 && len(list) > o.MaxChipsPerConfig {
 			list = list[:o.MaxChipsPerConfig]
 		}

@@ -1,0 +1,122 @@
+// Package engine is the shared parallel experiment executor behind every
+// table/figure runner. It fans a flat task list out over a bounded worker
+// pool and collects results in task order, so an experiment's output is
+// bit-identical regardless of worker count: parallelism only changes
+// wall-clock time, never results.
+//
+// Three properties make that guarantee hold:
+//
+//   - Tasks are independent. A task receives its item plus a TaskContext
+//     carrying a seed derived purely from (base seed, task index), never
+//     from scheduling order.
+//   - Results land in a slice indexed by task position; aggregation
+//     happens in the caller, serially, in task order.
+//   - On failure, the error of the lowest-index failed task is returned
+//     (wrapped in a TaskError), which is the same task for any worker
+//     count: tasks are claimed in ascending index order and a claimed
+//     task always runs to completion, so no failure can preempt a
+//     lower-index task.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// Options bounds one fan-out.
+type Options struct {
+	// Workers is the maximum number of concurrent tasks; <= 0 uses all
+	// cores (runtime.GOMAXPROCS). Results do not depend on this value.
+	Workers int
+	// Seed is the base seed per-task seeds are derived from.
+	Seed uint64
+}
+
+// TaskContext identifies one task of a fan-out and carries its derived
+// seed. The seed depends only on (Options.Seed, Index), so randomized
+// tasks stay reproducible under any worker count.
+type TaskContext struct {
+	Index int
+	Seed  uint64
+}
+
+// RNG returns a fresh deterministic generator for this task.
+func (c TaskContext) RNG() *stats.RNG { return stats.NewRNG(c.Seed) }
+
+// DeriveSeed mixes a base seed with a task index through a SplitMix64
+// finalizer, decorrelating neighboring tasks.
+func DeriveSeed(base, index uint64) uint64 {
+	z := base + 0x9e3779b97f4a7c15*(index+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// TaskError wraps a task failure with the index of the task that failed.
+type TaskError struct {
+	Index int
+	Err   error
+}
+
+func (e *TaskError) Error() string { return fmt.Sprintf("task %d: %v", e.Index, e.Err) }
+func (e *TaskError) Unwrap() error { return e.Err }
+
+// Map runs fn over every item on a bounded worker pool and returns the
+// results in item order. On failure it returns the lowest-index task's
+// error as a TaskError; remaining unstarted tasks are skipped.
+func Map[T, R any](o Options, items []T, fn func(TaskContext, T) (R, error)) ([]R, error) {
+	n := len(items)
+	results := make([]R, n)
+	if n == 0 {
+		return results, nil
+	}
+	errs := make([]error, n)
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if failed.Load() {
+					continue // drain remaining indices without running them
+				}
+				ctx := TaskContext{Index: i, Seed: DeriveSeed(o.Seed, uint64(i))}
+				r, err := fn(ctx, items[i])
+				if err != nil {
+					errs[i] = &TaskError{Index: i, Err: err}
+					failed.Store(true)
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+
+	if failed.Load() {
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestMapOrderStable checks that results land in item order and are
+// identical across worker counts.
+func TestMapOrderStable(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	var runs [][]int
+	for _, workers := range []int{1, 3, 16, 0} {
+		got, err := Map(Options{Workers: workers, Seed: 7}, items, func(c TaskContext, x int) (int, error) {
+			// Unequal work per task so a racy implementation would
+			// reorder completions.
+			s := 0
+			for j := 0; j < (x%7)*1000; j++ {
+				s += j
+			}
+			_ = s
+			return 3*x + 1, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, r := range got {
+			if r != 3*i+1 {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, r, 3*i+1)
+			}
+		}
+		runs = append(runs, got)
+	}
+	for i := 1; i < len(runs); i++ {
+		for j := range runs[0] {
+			if runs[i][j] != runs[0][j] {
+				t.Fatalf("run %d differs from run 0 at %d", i, j)
+			}
+		}
+	}
+}
+
+// TestMapSeedsIndependentOfWorkers checks per-task seed derivation:
+// distinct per task, stable across worker counts, dependent on the base.
+func TestMapSeedsIndependentOfWorkers(t *testing.T) {
+	items := make([]int, 32)
+	seedsAt := func(workers int, base uint64) []uint64 {
+		got, err := Map(Options{Workers: workers, Seed: base}, items, func(c TaskContext, _ int) (uint64, error) {
+			return c.Seed, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	serial := seedsAt(1, 42)
+	parallel := seedsAt(8, 42)
+	other := seedsAt(8, 43)
+	seen := map[uint64]bool{}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("task %d: seed differs across worker counts", i)
+		}
+		if seen[serial[i]] {
+			t.Errorf("task %d: duplicate seed %d", i, serial[i])
+		}
+		seen[serial[i]] = true
+		if serial[i] == other[i] {
+			t.Errorf("task %d: seed ignores base seed", i)
+		}
+	}
+	// The derived RNG must be usable and deterministic.
+	ctx := TaskContext{Index: 3, Seed: DeriveSeed(42, 3)}
+	if ctx.RNG().Uint64() != ctx.RNG().Uint64() {
+		t.Error("TaskContext.RNG not deterministic")
+	}
+}
+
+// TestMapErrorDeterministic checks that a failure surfaces as a TaskError
+// for the lowest-index failing task — the same task for any worker count,
+// even when several tasks fail.
+func TestMapErrorDeterministic(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4, 8} {
+		_, err := Map(Options{Workers: workers}, items, func(c TaskContext, x int) (int, error) {
+			if x == 5 || x == 7 {
+				return 0, fmt.Errorf("item %d: %w", x, boom)
+			}
+			return x, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: error %v does not wrap the task failure", workers, err)
+		}
+		var te *TaskError
+		if !errors.As(err, &te) {
+			t.Fatalf("workers=%d: error %v is not a TaskError", workers, err)
+		}
+		if te.Index != 5 {
+			t.Errorf("workers=%d: TaskError.Index = %d, want 5 (lowest failing)", workers, te.Index)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(Options{}, nil, func(TaskContext, int) (int, error) {
+		t.Fatal("fn called for empty input")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+// TestMapEachIndexRunsOnce checks that the atomic claim hands every index
+// to exactly one task.
+func TestMapEachIndexRunsOnce(t *testing.T) {
+	items := make([]int, 50)
+	hits := make([]int, len(items))
+	if _, err := Map(Options{Workers: 8}, items, func(c TaskContext, _ int) (struct{}, error) {
+		hits[c.Index]++ // each index owned by exactly one task
+		return struct{}{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Errorf("task %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestDeriveSeedMixes(t *testing.T) {
+	if DeriveSeed(0, 0) == DeriveSeed(0, 1) {
+		t.Error("adjacent indices collide")
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Error("adjacent bases collide")
+	}
+	if DeriveSeed(5, 9) != DeriveSeed(5, 9) {
+		t.Error("not deterministic")
+	}
+}

@@ -18,7 +18,10 @@
 //
 // The experiment runners (RunTable1 … RunFigure10) regenerate every table
 // and figure of the paper; see EXPERIMENTS.md for paper-vs-measured
-// values.
+// values. Every runner fans its (configuration, chip) or (mechanism,
+// HCfirst) grid out over a deterministic parallel engine: the Parallelism
+// field of Options / MitigationOptions bounds worker count and changes
+// wall-clock time only — results are bit-identical for any value.
 package rowhammer
 
 import (
@@ -114,10 +117,13 @@ func NewPopulation(modules []ModuleSpec, scale Scale, seed uint64) *Population {
 
 // --- Experiments -------------------------------------------------------
 
-// Options scales the characterization experiments.
+// Options scales the characterization experiments. Its Parallelism field
+// bounds the experiment engine's worker pool (0 = all cores) without
+// affecting results.
 type Options = core.Options
 
-// MitigationOptions scales the Figure 10 evaluation.
+// MitigationOptions scales the Figure 10 evaluation; like Options, its
+// Parallelism field trades wall-clock for cores, never results.
 type MitigationOptions = core.MitigationOptions
 
 // DefaultOptions returns CLI-scale characterization options.
