@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	rowhammer "repro"
+	"repro/internal/attack"
 	"repro/internal/chips"
 	"repro/internal/core"
 	"repro/internal/faultmodel"
@@ -172,6 +173,53 @@ func BenchmarkFigure10Mitigations(b *testing.B) {
 		if len(f.Points) == 0 {
 			b.Fatal("no points")
 		}
+	}
+}
+
+// benchAttackOptions is one reduced attack-evaluation grid point.
+func benchAttackOptions() core.AttackOptions {
+	return core.AttackOptions{
+		Patterns:     []attack.Kind{attack.DoubleSided},
+		Mechanisms:   []core.MechanismID{core.MechNone, core.MechIdeal},
+		HCSweep:      []int{512},
+		BenignCores:  2,
+		TraceRecords: 800,
+		MemCycles:    150_000,
+		Rows:         1024,
+		Seed:         1,
+	}
+}
+
+func BenchmarkAttackEval(b *testing.B) {
+	o := benchAttackOptions()
+	for i := 0; i < b.N; i++ {
+		ev, err := core.RunAttackEval(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ev.Points) != 2 {
+			b.Fatalf("points = %d", len(ev.Points))
+		}
+	}
+}
+
+// BenchmarkHammerObserverACT measures the per-activation cost of the
+// attack subsystem's damage accounting — the hook on the simulator's
+// hottest path.
+func BenchmarkHammerObserverACT(b *testing.B) {
+	chip, err := rowhammer.NewChip(rowhammer.ChipConfig{
+		Name: "obs-bench", Banks: 16, Rows: 4096, RowBits: 1024,
+		HCFirst: 1 << 40, Rate150k: 5e-5, // unreachable: pure accounting cost
+		WorstPattern: rowhammer.RowStripe0, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	chip.WriteAll(rowhammer.RowStripe0)
+	obs := rowhammer.NewHammerObserver(chip)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs.OnACT(0, i&15, 100+(i&1), int64(i))
 	}
 }
 

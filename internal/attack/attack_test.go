@@ -1,0 +1,316 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/faultmodel"
+)
+
+func testGeo() dram.Geometry {
+	g := dram.Table6Geometry()
+	g.Rows = 1024
+	return g
+}
+
+func testChip(t *testing.T, hc float64) *faultmodel.Chip {
+	t.Helper()
+	geo := testGeo()
+	chip, err := faultmodel.NewChip(faultmodel.Config{
+		Name: "attack-test", Banks: geo.Banks(), Rows: geo.Rows, RowBits: 512,
+		HCFirst: hc, Rate150k: 5e-5,
+		WorstPattern: faultmodel.RowStripe0, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip.WriteAll(faultmodel.RowStripe0)
+	return chip
+}
+
+func TestSynthesizeShapes(t *testing.T) {
+	geo := testGeo()
+	mapper, err := dram.NewAddressMapper(geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := Target{Bank: 3, Row: 500}
+	for _, kind := range Kinds() {
+		spec := Spec{Kind: kind, Seed: 5}
+		tr, refs, err := spec.Synthesize(geo, target)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(tr.Records) == 0 || len(refs) == 0 {
+			t.Fatalf("%s: empty synthesis", kind)
+		}
+		for _, r := range tr.Records {
+			if !r.NoCache || r.Write {
+				t.Fatalf("%s: attack records must be uncached reads, got %+v", kind, r)
+			}
+		}
+		for _, ref := range refs {
+			if ref.Bank < 0 || ref.Bank >= geo.Banks() || ref.Row < 1 || ref.Row > geo.Rows-2 {
+				t.Fatalf("%s: aggressor %+v out of range", kind, ref)
+			}
+		}
+		// Every synthesized address must land on a declared aggressor row,
+		// except decoy rows for the Decoy kind.
+		onAgg := 0
+		for _, r := range tr.Records {
+			a := mapper.Map(r.Addr)
+			found := false
+			for _, ref := range refs {
+				if a.Bank == ref.Bank && a.Row == ref.Row {
+					found = true
+					break
+				}
+			}
+			if found {
+				onAgg++
+			} else if kind != Decoy {
+				t.Fatalf("%s: address maps to %v, not an aggressor", kind, a)
+			}
+		}
+		if kind == Decoy {
+			decoys := len(tr.Records) - onAgg
+			if decoys == 0 {
+				t.Error("decoy pattern produced no decoy accesses")
+			}
+			if onAgg == 0 {
+				t.Error("decoy pattern produced no aggressor accesses")
+			}
+		}
+	}
+}
+
+func TestSynthesizePerKindStructure(t *testing.T) {
+	geo := testGeo()
+	target := Target{Bank: 2, Row: 400}
+
+	_, refs, err := Spec{Kind: DoubleSided}.Synthesize(geo, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 2 || refs[0].Row != 399 || refs[1].Row != 401 {
+		t.Errorf("double-sided aggressors = %v", refs)
+	}
+
+	_, refs, err = Spec{Kind: ManySided, Sides: 6}.Synthesize(geo, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 6 {
+		t.Fatalf("many-sided aggressors = %v", refs)
+	}
+	for i := 1; i < len(refs); i++ {
+		if refs[i].Row-refs[i-1].Row != 2 {
+			t.Errorf("many-sided spacing: %v", refs)
+		}
+	}
+	// Near either bank edge the window slides but must keep the victim
+	// flanked and never make the victim its own aggressor (an ACT on the
+	// victim would reset its damage and fake a secure result).
+	for _, victim := range []int{1, 2, geo.Rows - 3, geo.Rows - 2, geo.Rows - 1, 400} {
+		_, refs, err := Spec{Kind: ManySided, Sides: 8}.Synthesize(geo, Target{Bank: 0, Row: victim})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := victim
+		if v < 1 {
+			v = 1
+		}
+		if v > geo.Rows-2 {
+			v = geo.Rows - 2
+		}
+		got := map[int]bool{}
+		for _, r := range refs {
+			got[r.Row] = true
+		}
+		if got[v] {
+			t.Errorf("victim %d is in its own many-sided aggressor set %v", v, refs)
+		}
+		if !got[v-1] || !got[v+1] {
+			t.Errorf("victim %d not flanked by many-sided set %v", v, refs)
+		}
+	}
+
+	_, refs, err = Spec{Kind: Scattered, Banks: 4}.Synthesize(geo, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banks := map[int]bool{}
+	for _, r := range refs {
+		banks[r.Bank] = true
+	}
+	if len(banks) != 4 {
+		t.Errorf("scattered banks = %v", refs)
+	}
+
+	_, refs, err = Spec{Kind: SingleSided}.Synthesize(geo, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 2 || refs[0].Row != 399 {
+		t.Errorf("single-sided refs = %v", refs)
+	}
+	if d := refs[1].Row - target.Row; d > -8 && d < 8 {
+		t.Errorf("single-sided conflict row %d too close to victim", refs[1].Row)
+	}
+}
+
+func TestSynthesizeClampsEdges(t *testing.T) {
+	geo := testGeo()
+	for _, row := range []int{0, 1, geo.Rows - 1} {
+		for _, kind := range Kinds() {
+			_, refs, err := Spec{Kind: kind, Seed: 2}.Synthesize(geo, Target{Bank: 0, Row: row})
+			if err != nil {
+				t.Fatalf("%s at row %d: %v", kind, row, err)
+			}
+			for _, ref := range refs {
+				if ref.Row < 0 || ref.Row > geo.Rows-1 {
+					t.Fatalf("%s at row %d: aggressor %+v escapes the bank", kind, row, ref)
+				}
+			}
+		}
+	}
+}
+
+func TestSynthesizeDecoyTinyGeometry(t *testing.T) {
+	// The decoy exclusion band must shrink with the bank: a mid-bank
+	// victim in the minimum 16-row geometry used to starve decoyRow of
+	// candidates and hang synthesis.
+	geo := testGeo()
+	geo.Rows = 16
+	for victim := 0; victim < geo.Rows; victim++ {
+		tr, _, err := Spec{Kind: Decoy, Seed: 1, Records: 64}.Synthesize(geo, Target{Bank: 0, Row: victim})
+		if err != nil {
+			t.Fatalf("victim %d: %v", victim, err)
+		}
+		if len(tr.Records) != 64 {
+			t.Fatalf("victim %d: %d records", victim, len(tr.Records))
+		}
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	geo := testGeo()
+	a, _, err := Spec{Kind: Decoy, Seed: 9}.Synthesize(geo, Target{Bank: 1, Row: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Spec{Kind: Decoy, Seed: 9}.Synthesize(geo, Target{Bank: 1, Row: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs across same-seed synthesis", i)
+		}
+	}
+}
+
+func TestObserverCrossesThresholdExactly(t *testing.T) {
+	chip := testChip(t, 1000)
+	obs := NewObserver(chip)
+	weak := chip.WeakestCell()
+	lo, hi, ok := chip.AggressorsFor(weak.Row)
+	if !ok {
+		t.Fatal("weakest cell at bank edge")
+	}
+	obs.WatchAggressors([]RowRef{{Bank: weak.Bank, Row: lo}, {Bank: weak.Bank, Row: hi}})
+
+	// Alternate the aggressors: each ACT adds 0.5 effective hammers.
+	cycle := int64(0)
+	for i := 0; i < 2*1000-1; i++ {
+		row := lo
+		if i%2 == 1 {
+			row = hi
+		}
+		obs.OnACT(0, weak.Bank, row, cycle)
+		cycle += 56
+	}
+	if got := obs.EscapedFlips(); got != 0 {
+		t.Fatalf("flips before threshold: %d (damage %.1f)", got, obs.Damage(weak.Bank, weak.Row))
+	}
+	obs.OnACT(0, weak.Bank, lo, cycle)
+	if got := obs.EscapedFlips(); got == 0 {
+		t.Fatalf("no flip at damage %.1f ≥ threshold %.0f", obs.Damage(weak.Bank, weak.Row), weak.Threshold)
+	}
+	if obs.FirstFlipCycle() != cycle {
+		t.Errorf("first flip cycle %d, want %d", obs.FirstFlipCycle(), cycle)
+	}
+	if obs.AggressorACTs() != 2*1000 {
+		t.Errorf("aggressor ACTs = %d, want %d", obs.AggressorACTs(), 2*1000)
+	}
+	// The flip is permanent: further hammering must not duplicate it.
+	n := obs.EscapedFlips()
+	for i := 0; i < 100; i++ {
+		obs.OnACT(0, weak.Bank, lo, cycle+int64(i))
+		obs.OnACT(0, weak.Bank, hi, cycle+int64(i))
+	}
+	for _, f := range obs.Flips()[:n] {
+		count := 0
+		for _, g := range obs.Flips() {
+			if g.Flip == f.Flip {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Errorf("flip %+v recorded %d times", f.Flip, count)
+		}
+	}
+}
+
+func TestObserverRefreshResetsDamage(t *testing.T) {
+	chip := testChip(t, 1000)
+	obs := NewObserver(chip)
+	weak := chip.WeakestCell()
+	lo, hi, _ := chip.AggressorsFor(weak.Row)
+
+	// Accumulate 90% of the threshold, refresh the victim, then repeat:
+	// no flip may occur.
+	hammer := func(n int) {
+		for i := 0; i < n; i++ {
+			obs.OnACT(0, weak.Bank, lo, int64(i))
+			obs.OnACT(0, weak.Bank, hi, int64(i))
+		}
+	}
+	hammer(900)
+	if obs.Damage(weak.Bank, weak.Row) != 900 {
+		t.Fatalf("damage = %.1f, want 900", obs.Damage(weak.Bank, weak.Row))
+	}
+	obs.OnRefresh(0, weak.Bank, weak.Row, 1, 1000)
+	if obs.Damage(weak.Bank, weak.Row) != 0 {
+		t.Fatal("auto-refresh did not reset damage")
+	}
+	hammer(900)
+	if obs.EscapedFlips() != 0 {
+		t.Fatalf("flips despite refresh: %d", obs.EscapedFlips())
+	}
+	// A mitigation victim refresh is an ACT on the victim row itself.
+	obs.OnACT(0, weak.Bank, weak.Row, 2000)
+	if obs.Damage(weak.Bank, weak.Row) != 0 {
+		t.Fatal("own activation did not restore the row")
+	}
+}
+
+func TestObserverRefreshRotationWraps(t *testing.T) {
+	chip := testChip(t, 1000)
+	obs := NewObserver(chip)
+	rows := chip.Rows()
+	// Damage rows 0 and rows-1 via their neighbors, then cover both with a
+	// wrapping rotation window.
+	obs.OnACT(0, 0, 1, 0)
+	obs.OnACT(0, 0, rows-2, 0)
+	if obs.Damage(0, 0) == 0 || obs.Damage(0, rows-1) == 0 {
+		t.Fatal("setup: no damage accumulated")
+	}
+	obs.OnRefresh(0, 0, rows-2, 4, 1) // covers rows-2, rows-1, 0, 1
+	if obs.Damage(0, 0) != 0 || obs.Damage(0, rows-1) != 0 {
+		t.Error("wrapping rotation did not reset both edge rows")
+	}
+}

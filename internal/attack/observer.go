@@ -1,0 +1,150 @@
+package attack
+
+import (
+	"repro/internal/faultmodel"
+)
+
+// FlipEvent is one escaped bit flip: a fault-model cell whose accumulated
+// neighbor-activation damage crossed its threshold before any refresh —
+// auto, mitigation-triggered, or the row's own activation — restored its
+// charge. Cycle is the memory-clock cycle of the crossing activation.
+type FlipEvent struct {
+	faultmodel.Flip
+	Cycle int64
+}
+
+// Observer is the per-bank hammer accountant that closes the security
+// loop: it watches the controller's full command stream (every ACT,
+// including mitigation victim refreshes, and the auto-refresh rotation)
+// and mirrors, per physical wordline, the effective hammers accumulated
+// since that wordline's last charge restoration. Whenever a wordline's
+// damage crosses a cell threshold of the attached chip, the flip is
+// recorded as escaped — permanently, as a real RowHammer flip persists
+// until software rewrites the data.
+//
+// It implements sim.CommandObserver; drive it manually via OnACT/OnRefresh
+// when wiring a bare controller. Not safe for concurrent use.
+type Observer struct {
+	chip      *faultmodel.Chip
+	banks     int
+	rows      int
+	wordlines int
+
+	// damage holds effective hammers per bank*wordlines+wl since the
+	// wordline's last restoration.
+	damage []float64
+	// next caches the smallest cell threshold above the current damage
+	// (0 = not yet computed), so the hot path is one comparison.
+	next []float64
+
+	watch   map[int64]struct{} // aggressor rows under rate measurement
+	aggACTs int64
+
+	totalACTs int64
+
+	seen      map[faultmodel.Flip]struct{}
+	flips     []FlipEvent
+	firstFlip int64
+}
+
+// NewObserver builds an accountant over the chip. The chip must already
+// hold its data pattern (WriteAll) so cell eligibility is defined.
+func NewObserver(chip *faultmodel.Chip) *Observer {
+	n := chip.Banks() * chip.Wordlines()
+	return &Observer{
+		chip:      chip,
+		banks:     chip.Banks(),
+		rows:      chip.Rows(),
+		wordlines: chip.Wordlines(),
+		damage:    make([]float64, n),
+		next:      make([]float64, n),
+		watch:     make(map[int64]struct{}),
+		seen:      make(map[faultmodel.Flip]struct{}),
+		firstFlip: -1,
+	}
+}
+
+// WatchAggressors registers rows whose activations count toward the
+// aggressor ACT rate metric.
+func (o *Observer) WatchAggressors(refs []RowRef) {
+	for _, r := range refs {
+		o.watch[int64(r.Bank)<<32|int64(r.Row)] = struct{}{}
+	}
+}
+
+func (o *Observer) key(bank, wl int) int { return bank*o.wordlines + wl }
+
+// OnACT accounts one activation: the row's own wordline is restored, and
+// every coupled wordline accumulates damage and is checked against the
+// chip's flip model.
+func (o *Observer) OnACT(rank, bank, row int, cycle int64) {
+	if bank < 0 || bank >= o.banks || row < 0 || row >= o.rows {
+		return
+	}
+	o.totalACTs++
+	if _, ok := o.watch[int64(bank)<<32|int64(row)]; ok {
+		o.aggACTs++
+	}
+	wl := o.chip.WordlineIndex(row)
+	o.damage[o.key(bank, wl)] = 0 // activation restores the row's charge
+	o.chip.ForEachCoupledWordline(wl, func(n int, w float64) {
+		k := o.key(bank, n)
+		o.damage[k] += w
+		if o.next[k] == 0 {
+			_, t := o.chip.ThresholdCrossings(bank, n, 0)
+			o.next[k] = t
+		}
+		if o.damage[k] < o.next[k] {
+			return
+		}
+		crossed, t := o.chip.ThresholdCrossings(bank, n, o.damage[k])
+		o.next[k] = t
+		for _, f := range crossed {
+			if _, dup := o.seen[f]; dup {
+				continue
+			}
+			o.seen[f] = struct{}{}
+			o.flips = append(o.flips, FlipEvent{Flip: f, Cycle: cycle})
+			if o.firstFlip < 0 {
+				o.firstFlip = cycle
+			}
+		}
+	})
+}
+
+// OnRefresh clears the damage of every wordline the auto-refresh rotation
+// covers (wrapping at the bank edge, as the DRAM rotation does).
+func (o *Observer) OnRefresh(rank, bank, rowStart, rowCount int, cycle int64) {
+	if bank < 0 || bank >= o.banks {
+		return
+	}
+	for i := 0; i < rowCount; i++ {
+		r := (rowStart + i) % o.rows
+		k := o.key(bank, o.chip.WordlineIndex(r))
+		o.damage[k] = 0
+		// A refreshed wordline restarts from zero damage; the cached next
+		// threshold (smallest not-yet-flipped cell) stays valid.
+	}
+}
+
+// Flips returns the escaped flips in occurrence order.
+func (o *Observer) Flips() []FlipEvent { return o.flips }
+
+// EscapedFlips returns the count of distinct escaped bit flips.
+func (o *Observer) EscapedFlips() int { return len(o.flips) }
+
+// FirstFlipCycle returns the memory cycle of the first escaped flip, or
+// -1 when none escaped.
+func (o *Observer) FirstFlipCycle() int64 { return o.firstFlip }
+
+// AggressorACTs returns activations observed on watched aggressor rows.
+func (o *Observer) AggressorACTs() int64 { return o.aggACTs }
+
+// TotalACTs returns all activations observed.
+func (o *Observer) TotalACTs() int64 { return o.totalACTs }
+
+// Damage returns the currently accumulated effective hammers on a row's
+// wordline (for tests and diagnostics).
+func (o *Observer) Damage(bank, row int) float64 {
+	return o.damage[o.key(bank, o.chip.WordlineIndex(row))]
+}

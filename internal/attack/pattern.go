@@ -1,0 +1,230 @@
+// Package attack is the adversarial side of the Section 6 evaluation the
+// paper never runs: it synthesizes real hammering access streams as
+// first-class workload traces (single-sided, double-sided, TRRespass-style
+// many-sided, scattered multi-bank, and decoy-interleaved), and couples
+// the memory controller's ACT/REF command stream to a calibrated
+// faultmodel.Chip through a per-bank hammer-accounting observer — so a
+// mixed attacker+benign simulation can report whether a mitigation
+// mechanism actually prevents bit flips, not just what it costs.
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Kind identifies an attack access pattern.
+type Kind string
+
+const (
+	// SingleSided alternates one aggressor adjacent to the victim with a
+	// far conflict row in the same bank (the original RowHammer loop: the
+	// conflict row forces the aggressor's row buffer closed so every
+	// access costs an ACT).
+	SingleSided Kind = "single-sided"
+	// DoubleSided alternates the two rows flanking the victim — the
+	// paper's Algorithm 1 worst case.
+	DoubleSided Kind = "double-sided"
+	// ManySided cycles N aggressors spaced two rows apart (TRRespass-style
+	// n-sided): every even row between them is a victim, and the wide
+	// rotation defeats small activation-tracking tables.
+	ManySided Kind = "many-sided"
+	// Scattered runs double-sided pairs in several banks at once,
+	// exploiting bank parallelism for a higher aggregate ACT rate and
+	// spreading load across per-bank trackers.
+	Scattered Kind = "scattered"
+	// Decoy interleaves double-sided hammering with reads to pseudo-random
+	// far rows, polluting frequency-based trackers (ProHIT/MRLoc tables,
+	// Bloom filters) with innocuous hot candidates.
+	Decoy Kind = "decoy"
+)
+
+// Kinds lists the attack pattern catalog in evaluation order.
+func Kinds() []Kind {
+	return []Kind{SingleSided, DoubleSided, ManySided, Scattered, Decoy}
+}
+
+// Spec parameterizes one synthesized attack stream. The zero Spec plus a
+// Kind is valid; normalized() fills the per-kind defaults.
+type Spec struct {
+	Kind Kind
+
+	// Sides is the aggressor count for ManySided (default 8).
+	Sides int
+	// Banks is the bank spread for Scattered (default 4, clamped to the
+	// geometry).
+	Banks int
+	// DecoyRatio is the fraction of accesses aimed at decoy rows for
+	// Decoy (default 0.5).
+	DecoyRatio float64
+	// Gap is the non-memory instruction count between accesses; it sets
+	// the attacker's memory-level parallelism through the core's
+	// instruction window (window/(Gap+1) outstanding loads).
+	Gap int
+	// Records is the memory-record count of one trace pass (replayed
+	// cyclically; default 2048).
+	Records int
+
+	Seed uint64
+}
+
+// Target anchors an attack at a victim row (for Scattered, the first of
+// the attacked banks).
+type Target struct {
+	Bank, Row int
+}
+
+// RowRef names one (bank, row) the synthesized stream deliberately
+// activates; the observer watches these to measure the achieved
+// aggressor ACT rate.
+type RowRef struct {
+	Bank, Row int
+}
+
+func (s Spec) normalized() Spec {
+	if s.Sides <= 0 {
+		s.Sides = 8
+	}
+	if s.Banks <= 0 {
+		s.Banks = 4
+	}
+	if s.DecoyRatio <= 0 {
+		s.DecoyRatio = 0.5
+	}
+	if s.Gap <= 0 {
+		// Maximum memory-level parallelism (64 outstanding loads through
+		// the 128-entry window): a real attacker issues independent loads
+		// so its requests dominate the controller's queue. Raising Gap
+		// models a politer attacker who cedes head-of-line share.
+		s.Gap = 1
+	}
+	if s.Records <= 0 {
+		s.Records = 2048
+	}
+	return s
+}
+
+// Synthesize builds the attacker's access stream against the target as a
+// first-class trace (uncached flush+load records, fixed addresses every
+// pass) plus the list of rows it deliberately hammers. The victim row is
+// clamped away from the bank edges so every pattern has room for its
+// aggressors.
+func (s Spec) Synthesize(geo dram.Geometry, t Target) (*trace.Trace, []RowRef, error) {
+	s = s.normalized()
+	mapper, err := dram.NewAddressMapper(geo)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := geo.Rows
+	if rows < 16 {
+		return nil, nil, fmt.Errorf("attack: geometry too small (%d rows)", rows)
+	}
+	if t.Bank < 0 || t.Bank >= geo.Banks() {
+		return nil, nil, fmt.Errorf("attack: target bank %d out of range", t.Bank)
+	}
+	victim := t.Row
+	if victim < 1 {
+		victim = 1
+	}
+	if victim > rows-2 {
+		victim = rows - 2
+	}
+
+	// Per-pattern aggressor sets, as (bank, row) pairs cycled in order.
+	var refs []RowRef
+	switch s.Kind {
+	case SingleSided:
+		far := (victim + rows/2) % rows
+		if far < 1 {
+			far = 1
+		}
+		refs = []RowRef{
+			{Bank: t.Bank, Row: victim - 1},
+			{Bank: t.Bank, Row: far},
+		}
+	case DoubleSided:
+		refs = []RowRef{
+			{Bank: t.Bank, Row: victim - 1},
+			{Bank: t.Bank, Row: victim + 1},
+		}
+	case ManySided:
+		n := s.Sides
+		if max := rows / 2; n > max {
+			n = max
+		}
+		// Aggressors sit two rows apart on the opposite parity of the
+		// victim, so the victim is flanked but never activated by its own
+		// attack (an ACT on the victim row would reset its damage). Edge
+		// clamping slides the window by even steps only, preserving that
+		// parity.
+		lo := victim - 1
+		if hi := lo + 2*(n-1); hi > rows-1 {
+			shift := hi - (rows - 1)
+			shift += shift & 1
+			lo -= shift
+		}
+		for r := lo; r <= rows-1 && len(refs) < n; r += 2 {
+			if r >= 0 {
+				refs = append(refs, RowRef{Bank: t.Bank, Row: r})
+			}
+		}
+	case Scattered:
+		banks := s.Banks
+		if banks > geo.Banks() {
+			banks = geo.Banks()
+		}
+		for b := 0; b < banks; b++ {
+			bank := (t.Bank + b) % geo.Banks()
+			refs = append(refs,
+				RowRef{Bank: bank, Row: victim - 1},
+				RowRef{Bank: bank, Row: victim + 1})
+		}
+	case Decoy:
+		refs = []RowRef{
+			{Bank: t.Bank, Row: victim - 1},
+			{Bank: t.Bank, Row: victim + 1},
+		}
+	default:
+		return nil, nil, fmt.Errorf("attack: unknown pattern %q", s.Kind)
+	}
+
+	rng := stats.NewRNG(s.Seed ^ 0xa77ac4)
+	tr := &trace.Trace{Name: "attack-" + string(s.Kind)}
+	cols := geo.Columns
+	colOf := make(map[RowRef]int, len(refs))
+	next := 0
+	for i := 0; i < s.Records; i++ {
+		ref := refs[next%len(refs)]
+		next++
+		if s.Kind == Decoy && rng.Bernoulli(s.DecoyRatio) {
+			// A decoy read to a far row in the same bank: outside the
+			// victim's blast radius but hot enough to occupy trackers.
+			ref = RowRef{Bank: t.Bank, Row: decoyRow(rng, victim, rows)}
+			next-- // the displaced aggressor access happens next record
+		}
+		col := colOf[ref] % cols
+		colOf[ref] = col + 1
+		addr := mapper.AddressOf(dram.Address{Bank: ref.Bank, Row: ref.Row, Col: col})
+		tr.Records = append(tr.Records, trace.Record{Gap: s.Gap, Addr: addr, NoCache: true})
+	}
+	return tr, refs, nil
+}
+
+// decoyRow picks a pseudo-random row outside the victim's neighborhood.
+// The exclusion band shrinks with the bank so candidates always exist,
+// even for the tiny geometries tests use.
+func decoyRow(rng *stats.RNG, victim, rows int) int {
+	band := 8
+	if max := rows/2 - 2; band > max {
+		band = max
+	}
+	for {
+		r := 1 + rng.Intn(rows-2)
+		if r < victim-band || r > victim+band {
+			return r
+		}
+	}
+}

@@ -259,6 +259,37 @@ func (c *Cache) Read(core int, addr int64, onDone func()) bool {
 	return c.access(core, addr, false, onDone)
 }
 
+// ReadUncached models a flush+load (the clflush-based access sequence
+// RowHammer attack code uses): any cached copy of the line is invalidated
+// (written back when dirty) and the load goes straight to the memory
+// controller without allocating, so every replay reaches DRAM. Returns
+// false when the controller's read queue rejects the request.
+func (c *Cache) ReadUncached(core int, addr int64, onDone func()) bool {
+	la := c.lineAddr(addr)
+	// An in-flight fill for the line must complete first: ride it. The
+	// subsequent replay will find the line cached, flush it, and miss.
+	if m, ok := c.mshrs[la]; ok {
+		c.Stats.MSHRMerges++
+		c.account(core, false)
+		if onDone != nil {
+			m.waiters = append(m.waiters, onDone)
+		}
+		return true
+	}
+	if !c.backend.EnqueueRead(la*int64(c.cfg.LineBytes), onDone) {
+		return false
+	}
+	if s, w := c.lookup(la); w >= 0 {
+		if c.sets[s][w].dirty {
+			c.Stats.Writebacks++
+			c.backend.EnqueueWrite(la * int64(c.cfg.LineBytes))
+		}
+		c.sets[s][w] = line{}
+	}
+	c.account(core, false)
+	return true
+}
+
 // Write stores to addr (write-allocate, write-back). The done callback is
 // optional: stores retire immediately in the core model.
 func (c *Cache) Write(core int, addr int64) bool {

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/attack"
+	"repro/internal/dram"
+	"repro/internal/engine"
+	"repro/internal/faultmodel"
+	"repro/internal/mitigation"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// The attack evaluation is the experiment the paper doesn't contain:
+// Figure 10 measures what mitigations cost on benign workloads; this
+// measures what they prevent. A (mechanism × attack pattern × HCfirst)
+// grid of mixed attacker+benign simulations runs with a calibrated
+// faultmodel.Chip coupled to the controller's command stream through the
+// attack.Observer, reporting security outcomes (escaped flips, time to
+// first flip, achieved aggressor ACT rate) next to the familiar
+// performance metrics (benign slowdown under attack, bandwidth overhead).
+
+// AttackOptions scales the attack evaluation.
+type AttackOptions struct {
+	Patterns   []attack.Kind
+	Mechanisms []MechanismID
+	HCSweep    []int
+
+	// BenignCores is the count of benign workload cores sharing the
+	// system with the single attacker core (paper's Table 6 system has 8
+	// cores; default 3 benign + 1 attacker keeps the grid tractable).
+	BenignCores int
+	// TraceRecords sizes the benign traces.
+	TraceRecords int
+	// MemCycles is the attack duration in memory-clock cycles. The
+	// default (~2.5 ms of DDR4-2400 time) models the worst-case slice of
+	// a refresh window: the victim gets no auto-refresh help, so the
+	// mechanism alone must stop the accumulation.
+	MemCycles int64
+	// Rows overrides rows per bank (chip and channel geometry) so tests
+	// can shrink the system; 0 keeps the Table 6 value.
+	Rows int
+
+	// AttackRecords sizes one attacker trace pass (0 = pattern default).
+	AttackRecords int
+
+	Parallelism int
+	Seed        uint64
+}
+
+// DefaultAttackOptions is the CLI-scale configuration.
+func DefaultAttackOptions() AttackOptions {
+	return AttackOptions{
+		Patterns:     attack.Kinds(),
+		Mechanisms:   DefaultAttackMechanisms(),
+		HCSweep:      []int{10_000, 4_800, 2_000, 512},
+		BenignCores:  3,
+		TraceRecords: 2_000,
+		MemCycles:    3_000_000,
+		Seed:         1,
+	}
+}
+
+// DefaultAttackMechanisms lists the attack evaluation's default
+// contenders: the unprotected baseline, the paper's most scalable
+// refresh-based mechanism, the post-paper throttling design, and the
+// oracle bound.
+func DefaultAttackMechanisms() []MechanismID {
+	return []MechanismID{MechNone, MechPARA, MechBlockHammer, MechIdeal}
+}
+
+func (o AttackOptions) normalized() AttackOptions {
+	d := DefaultAttackOptions()
+	if len(o.Patterns) == 0 {
+		o.Patterns = d.Patterns
+	}
+	if len(o.Mechanisms) == 0 {
+		o.Mechanisms = d.Mechanisms
+	}
+	if len(o.HCSweep) == 0 {
+		o.HCSweep = d.HCSweep
+	}
+	if o.BenignCores <= 0 {
+		o.BenignCores = d.BenignCores
+	}
+	if o.TraceRecords <= 0 {
+		o.TraceRecords = d.TraceRecords
+	}
+	if o.MemCycles <= 0 {
+		o.MemCycles = d.MemCycles
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	return o
+}
+
+// AttackPoint is one grid point's outcome.
+type AttackPoint struct {
+	Mechanism MechanismID
+	Pattern   attack.Kind
+	HCFirst   int
+	Viable    bool
+
+	// Security metrics.
+	EscapedFlips      int
+	TimeToFirstFlipMS float64 // -1 when no flip escaped
+	AggressorACTs     int64
+	AggACTsPerSec     float64
+
+	// Performance metrics.
+	BenignPerfPct float64 // benign weighted speedup vs. unattacked baseline, %
+	OverheadPct   float64 // Figure 10a's DRAM bandwidth overhead metric
+	// ThrottleStallCycles approximates memory cycles in which a throttling
+	// mechanism held back a schedulable request.
+	ThrottleStallCycles int64
+}
+
+// AttackEval is the full grid result.
+type AttackEval struct {
+	Points    []AttackPoint
+	MemCycles int64
+	WallMS    float64 // simulated attack duration
+	Benign    string  // benign mix description
+}
+
+// attackSimConfig builds the simulated system for the evaluation.
+func attackSimConfig(o AttackOptions) sim.Config {
+	cfg := sim.Table6Config(0, 1)
+	if o.Rows > 0 {
+		cfg.Geo.Rows = o.Rows
+		cfg.T = dram.DDR4_2400(o.Rows)
+	}
+	cfg.WarmupInsts = 0
+	cfg.MeasureInsts = 1 << 40 // duration-terminated: MaxCPUCycles decides
+	cfg.MaxCPUCycles = o.MemCycles * int64(cfg.CPUFreqMHz) / int64(cfg.MemFreqMHz)
+	return cfg
+}
+
+// attackChip builds the victim chip for an HCfirst point: a DDR4-like
+// part spanning the simulated channel, blast radius 1, no on-die ECC, so
+// escaped flips are directly attributable.
+func attackChip(cfg sim.Config, hc int, seed uint64) (*faultmodel.Chip, error) {
+	chip, err := faultmodel.NewChip(faultmodel.Config{
+		Name:         fmt.Sprintf("attacked-hc%d", hc),
+		Banks:        cfg.Geo.Banks(),
+		Rows:         cfg.Geo.Rows,
+		RowBits:      1024,
+		HCFirst:      float64(hc),
+		Rate150k:     5e-5,
+		WorstPattern: faultmodel.RowStripe0,
+		Seed:         seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	chip.WriteAll(faultmodel.RowStripe0)
+	return chip, nil
+}
+
+// RunAttackEval evaluates every (mechanism, pattern, HCfirst) grid point.
+// Phase 1 measures the benign cores alone (no attacker, no mitigation) as
+// the performance baseline; phase 2 fans the grid out over the experiment
+// engine, so results are bit-identical for any Parallelism.
+func RunAttackEval(o AttackOptions) (*AttackEval, error) {
+	o = o.normalized()
+	cfg := attackSimConfig(o)
+	benign := trace.Mixes(1, o.BenignCores, o.TraceRecords, o.Seed)[0]
+	benign.Name = "benign"
+
+	base, err := sim.Run(cfg, benign)
+	if err != nil {
+		return nil, fmt.Errorf("attack eval baseline: %w", err)
+	}
+	baseIPC := base.IPC
+	for i, v := range baseIPC {
+		if v <= 0 {
+			return nil, fmt.Errorf("attack eval baseline: core %d IPC is zero", i)
+		}
+	}
+
+	type job struct {
+		mech    MechanismID
+		pattern attack.Kind
+		hc      int
+		// streamSeed derives from (pattern, HCfirst) only — never the
+		// mechanism — so every mechanism at a grid point faces the *same*
+		// chip (same weakest cell, same thresholds) and the same attacker
+		// stream. Anything else would confound cross-mechanism comparison.
+		streamSeed uint64
+	}
+	var jobs []job
+	for _, id := range o.Mechanisms {
+		for pi, p := range o.Patterns {
+			for hi, hc := range o.HCSweep {
+				jobs = append(jobs, job{
+					mech: id, pattern: p, hc: hc,
+					streamSeed: engine.DeriveSeed(o.Seed^0x57eea, uint64(pi*len(o.HCSweep)+hi)),
+				})
+			}
+		}
+	}
+	eo := engine.Options{Workers: o.Parallelism, Seed: o.Seed}
+	points, err := engine.Map(eo, jobs, func(ctx engine.TaskContext, jb job) (AttackPoint, error) {
+		pt, err := runAttackPoint(cfg, o, jb.mech, jb.pattern, jb.hc, benign, baseIPC, jb.streamSeed, ctx.Seed)
+		if err != nil {
+			return AttackPoint{}, fmt.Errorf("%s/%s hc=%d: %w", jb.mech, jb.pattern, jb.hc, err)
+		}
+		return *pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// engine.Map returns results in job order, so Points already follow
+	// the caller's mechanism × pattern × HCfirst nesting.
+	return &AttackEval{
+		Points:    points,
+		MemCycles: o.MemCycles,
+		WallMS:    float64(o.MemCycles) * float64(cfg.T.TCKPS) * 1e-9,
+		Benign:    fmt.Sprintf("%d benign cores, MPKI %.0f", o.BenignCores, base.MPKI),
+	}, nil
+}
+
+// runAttackPoint runs one mixed attacker+benign simulation. streamSeed
+// fixes the chip and attacker stream per (pattern, HCfirst) grid point;
+// mechSeed is the per-task seed for mechanism-internal randomness.
+func runAttackPoint(cfg sim.Config, o AttackOptions, id MechanismID, kind attack.Kind,
+	hc int, benign trace.Mix, baseIPC []float64, streamSeed, mechSeed uint64,
+) (*AttackPoint, error) {
+	chip, err := attackChip(cfg, hc, streamSeed)
+	if err != nil {
+		return nil, err
+	}
+	mech, err := buildMechanism(id, cfg, hc, mechSeed^0x3eca)
+	if err != nil {
+		return nil, err
+	}
+
+	// The attacker has profiled the chip (the strong threat model of
+	// Section 6): aim at the weakest cell's row.
+	weak := chip.WeakestCell()
+	spec := attack.Spec{Kind: kind, Records: o.AttackRecords, Seed: streamSeed ^ 0xdec0}
+	attackTrace, aggressors, err := spec.Synthesize(cfg.Geo, attack.Target{Bank: weak.Bank, Row: weak.Row})
+	if err != nil {
+		return nil, err
+	}
+
+	obs := attack.NewObserver(chip)
+	obs.WatchAggressors(aggressors)
+
+	mix := trace.Mix{Name: "attack-" + string(kind), Traces: []*trace.Trace{attackTrace}}
+	mix.Traces = append(mix.Traces, benign.Traces...)
+
+	runCfg := cfg
+	runCfg.Mechanism = mech
+	runCfg.Observer = obs
+	res, err := sim.Run(runCfg, mix)
+	if err != nil {
+		return nil, err
+	}
+
+	pt := &AttackPoint{
+		Mechanism:           id,
+		Pattern:             kind,
+		HCFirst:             hc,
+		Viable:              true,
+		EscapedFlips:        obs.EscapedFlips(),
+		AggressorACTs:       obs.AggressorACTs(),
+		OverheadPct:         res.BandwidthOverheadPct,
+		ThrottleStallCycles: res.Ctrl.ThrottleStallCycles,
+	}
+	if v, ok := mech.(mitigation.Viability); ok {
+		pt.Viable = v.Viable()
+	}
+	pt.TimeToFirstFlipMS = -1
+	if c := obs.FirstFlipCycle(); c >= 0 {
+		pt.TimeToFirstFlipMS = float64(c) * float64(cfg.T.TCKPS) * 1e-9
+	}
+	if secs := float64(o.MemCycles) * float64(cfg.T.TCKPS) * 1e-12; secs > 0 {
+		pt.AggACTsPerSec = float64(obs.AggressorACTs()) / secs
+	}
+	// Benign performance under attack: weighted speedup of the benign
+	// cores (positions 1..N in the mix) against their unattacked,
+	// unmitigated baseline.
+	ws := 0.0
+	for i, b := range baseIPC {
+		ws += res.IPC[i+1] / b
+	}
+	pt.BenignPerfPct = 100 * ws / float64(len(baseIPC))
+	return pt, nil
+}
+
+// PointsFor filters the grid for one mechanism, in report order.
+func (e *AttackEval) PointsFor(id MechanismID) []AttackPoint {
+	var out []AttackPoint
+	for _, p := range e.Points {
+		if p.Mechanism == id {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Format renders the attack evaluation.
+func (e *AttackEval) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Attack evaluation: mitigations under adversarial hammering (%.2f ms window, %s)\n",
+		e.WallMS, e.Benign)
+
+	var order []MechanismID
+	seen := map[MechanismID]bool{}
+	for _, p := range e.Points {
+		if !seen[p.Mechanism] {
+			seen[p.Mechanism] = true
+			order = append(order, p.Mechanism)
+		}
+	}
+
+	sb.WriteString(table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "mechanism\tpattern\tHCfirst\tflips\tt-first-flip\taggACT/s\tbenign perf%\toverhead%\tviable")
+		for _, id := range order {
+			for _, p := range e.PointsFor(id) {
+				ttff := "-"
+				if p.TimeToFirstFlipMS >= 0 {
+					ttff = fmt.Sprintf("%.3fms", p.TimeToFirstFlipMS)
+				}
+				fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%s\t%.2fM\t%.1f\t%.3f\t%v\n",
+					p.Mechanism, p.Pattern, p.HCFirst, p.EscapedFlips, ttff,
+					p.AggACTsPerSec/1e6, p.BenignPerfPct, p.OverheadPct, p.Viable)
+			}
+		}
+	}))
+
+	// Security verdict summary: a mechanism "holds" at a point when no
+	// flip escaped.
+	var insecure []string
+	for _, p := range e.Points {
+		if p.Mechanism != MechNone && p.EscapedFlips > 0 {
+			insecure = append(insecure,
+				fmt.Sprintf("%s vs %s @ %d (%d flips)", p.Mechanism, p.Pattern, p.HCFirst, p.EscapedFlips))
+		}
+	}
+	if len(insecure) == 0 {
+		sb.WriteString("\nAll evaluated mechanisms prevented every bit flip on this grid.\n")
+	} else {
+		fmt.Fprintf(&sb, "\nBroken configurations (%d):\n", len(insecure))
+		for _, s := range insecure {
+			sb.WriteString("  " + s + "\n")
+		}
+	}
+	return sb.String()
+}
+
+// MaxEscaped returns the largest escaped-flip count for a mechanism
+// across the grid (diagnostics and tests).
+func (e *AttackEval) MaxEscaped(id MechanismID) int {
+	max := math.MinInt
+	for _, p := range e.PointsFor(id) {
+		if p.EscapedFlips > max {
+			max = p.EscapedFlips
+		}
+	}
+	if max == math.MinInt {
+		return 0
+	}
+	return max
+}

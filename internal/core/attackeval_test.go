@@ -1,0 +1,126 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/attack"
+)
+
+// tinyAttackOptions is the reduced grid used across the attack-eval
+// tests: one low-HCfirst point on a small chip, short window.
+func tinyAttackOptions(parallelism int) AttackOptions {
+	return AttackOptions{
+		Patterns:     []attack.Kind{attack.DoubleSided},
+		Mechanisms:   []MechanismID{MechNone, MechIdeal},
+		HCSweep:      []int{512},
+		BenignCores:  2,
+		TraceRecords: 800,
+		MemCycles:    200_000,
+		Rows:         1024,
+		Parallelism:  parallelism,
+		Seed:         7,
+	}
+}
+
+// TestAttackEvalSecurityLoop is the subsystem's reason to exist: with no
+// mitigation, a low-HCfirst chip loses bits to a double-sided hammer
+// within the window; the Ideal mechanism on the same chip and stream
+// loses none. If both held or both broke, the command stream and the
+// fault model would not actually be coupled.
+func TestAttackEvalSecurityLoop(t *testing.T) {
+	ev, err := RunAttackEval(tinyAttackOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	none := ev.PointsFor(MechNone)
+	ideal := ev.PointsFor(MechIdeal)
+	if len(none) != 1 || len(ideal) != 1 {
+		t.Fatalf("points: none=%d ideal=%d", len(none), len(ideal))
+	}
+	if none[0].EscapedFlips == 0 {
+		t.Errorf("unprotected chip survived the attack: %+v", none[0])
+	}
+	if none[0].TimeToFirstFlipMS < 0 {
+		t.Error("no time-to-first-flip despite escaped flips")
+	}
+	if ideal[0].EscapedFlips != 0 {
+		t.Errorf("Ideal mechanism leaked %d flips: %+v", ideal[0].EscapedFlips, ideal[0])
+	}
+	if ideal[0].TimeToFirstFlipMS >= 0 {
+		t.Error("Ideal reports a first-flip time with zero flips")
+	}
+	// The attacker must have achieved a meaningful ACT rate in both runs.
+	for _, p := range ev.Points {
+		if p.AggressorACTs == 0 || p.AggACTsPerSec <= 0 {
+			t.Errorf("%s: no aggressor activity measured: %+v", p.Mechanism, p)
+		}
+		if p.BenignPerfPct <= 0 || p.BenignPerfPct > 120 {
+			t.Errorf("%s: implausible benign perf %.1f%%", p.Mechanism, p.BenignPerfPct)
+		}
+	}
+}
+
+// TestAttackEvalBlockHammerThrottles pins the throttling path end to end:
+// BlockHammer must hold the same point the unprotected baseline loses,
+// with zero mitigation refreshes and a visibly reduced aggressor rate.
+func TestAttackEvalBlockHammerThrottles(t *testing.T) {
+	o := tinyAttackOptions(0)
+	o.Mechanisms = []MechanismID{MechNone, MechBlockHammer}
+	ev, err := RunAttackEval(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none := ev.PointsFor(MechNone)[0]
+	bh := ev.PointsFor(MechBlockHammer)[0]
+	if bh.EscapedFlips != 0 {
+		t.Errorf("BlockHammer leaked %d flips", bh.EscapedFlips)
+	}
+	if bh.OverheadPct != 0 {
+		t.Errorf("BlockHammer issued refreshes: overhead %.3f%%", bh.OverheadPct)
+	}
+	if bh.ThrottleStallCycles == 0 {
+		t.Error("BlockHammer never throttled the attacker")
+	}
+	if bh.AggACTsPerSec >= none.AggACTsPerSec/2 {
+		t.Errorf("throttled aggressor rate %.0f not well below baseline %.0f",
+			bh.AggACTsPerSec, none.AggACTsPerSec)
+	}
+}
+
+// TestAttackEvalParallelismInvariant extends the engine's contract to the
+// new runner: formatted output is byte-identical for any worker count.
+func TestAttackEvalParallelismInvariant(t *testing.T) {
+	run := func(parallelism int) string {
+		o := tinyAttackOptions(parallelism)
+		o.Patterns = []attack.Kind{attack.DoubleSided, attack.Scattered}
+		ev, err := RunAttackEval(o)
+		if err != nil {
+			t.Fatalf("parallelism=%d: %v", parallelism, err)
+		}
+		return ev.Format()
+	}
+	serial := run(1)
+	if serial == "" {
+		t.Fatal("empty output")
+	}
+	parallel := run(8)
+	if serial != parallel {
+		t.Errorf("output differs between parallelism 1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
+// TestAttackEvalFormat sanity-checks the report rendering.
+func TestAttackEvalFormat(t *testing.T) {
+	ev, err := RunAttackEval(tinyAttackOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ev.Format()
+	for _, want := range []string{"Attack evaluation", "double-sided", "None", "Ideal", "t-first-flip"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format output missing %q:\n%s", want, out)
+		}
+	}
+}

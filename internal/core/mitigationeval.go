@@ -15,6 +15,7 @@ import (
 type MechanismID string
 
 const (
+	MechNone             MechanismID = "None"
 	MechIncreasedRefresh MechanismID = "IncreasedRefresh"
 	MechPARA             MechanismID = "PARA"
 	MechProHIT           MechanismID = "ProHIT"
@@ -22,6 +23,10 @@ const (
 	MechTWiCe            MechanismID = "TWiCe"
 	MechTWiCeIdeal       MechanismID = "TWiCe-ideal"
 	MechIdeal            MechanismID = "Ideal"
+	// MechBlockHammer is the post-paper throttling contender evaluated by
+	// the attack subsystem (RunAttackEval); it is not part of Figure 10's
+	// paper-faithful mechanism list but can be requested explicitly.
+	MechBlockHammer MechanismID = "BlockHammer"
 )
 
 // AllMechanisms lists the Figure 10 series in plotting order.
@@ -36,6 +41,10 @@ func AllMechanisms() []MechanismID {
 func buildMechanism(id MechanismID, cfg sim.Config, hcFirst int, seed uint64) (mitigation.Mechanism, error) {
 	p := cfg.MitigationParams(hcFirst, seed)
 	switch id {
+	case MechNone:
+		return mitigation.NewNone(), nil
+	case MechBlockHammer:
+		return mitigation.NewBlockHammer(p)
 	case MechIncreasedRefresh:
 		return mitigation.NewIncreasedRefresh(p)
 	case MechPARA:

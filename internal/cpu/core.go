@@ -140,7 +140,11 @@ func (c *Core) Tick() {
 			seq := c.seqHead + int64(c.inFlite)
 			s := c.slot(seq)
 			c.done[s] = false // before Read: the callback may fire any time after
-			if !c.llc.Read(c.ID, c.rec.Addr, func() { c.done[s] = true }) {
+			read := c.llc.Read
+			if c.rec.NoCache {
+				read = c.llc.ReadUncached // flush+load: always reaches DRAM
+			}
+			if !read(c.ID, c.rec.Addr, func() { c.done[s] = true }) {
 				break
 			}
 			c.inFlite++

@@ -61,15 +61,24 @@ type Stats struct {
 	DemandBusyCycles int64
 
 	ReadQueueFull int64
+
+	// ThrottledReads counts demand reads rejected at queue admission
+	// because their target row was blacklisted by a throttling mechanism
+	// (mitigation.Throttler). Unit: requests.
+	ThrottledReads int64
+	// ThrottleStallCycles counts scheduler passes that skipped at least
+	// one throttle-blocked request. Unit: (approximately) memory cycles.
+	ThrottleStallCycles int64
 }
 
 // Controller owns one channel. Drive it with Tick once per memory-clock
 // cycle.
 type Controller struct {
-	cfg    Config
-	ch     *dram.Channel
-	mapper *dram.AddressMapper
-	mech   mitigation.Mechanism
+	cfg      Config
+	ch       *dram.Channel
+	mapper   *dram.AddressMapper
+	mech     mitigation.Mechanism
+	throttle mitigation.Throttler // non-nil when mech implements it
 
 	readQ       []*request
 	writeQ      []*request
@@ -90,9 +99,10 @@ type Controller struct {
 	// OnACT observer can attribute them.
 	issuingMitigation bool
 
-	// onACT forwards every activate to an external observer (fault model
-	// attachment for attack demos).
+	// onACT and onREF forward the command stream to an external observer
+	// (the fault-model hammer accountant of internal/attack).
 	onACT dram.ACTObserver
+	onREF dram.RefreshObserver
 
 	Stats Stats
 }
@@ -122,6 +132,7 @@ func New(cfg Config, ch *dram.Channel, mech mitigation.Mechanism) (*Controller, 
 		mech:        mech,
 		mitBankBusy: make([]bool, ch.Geo.Banks()),
 	}
+	c.throttle, _ = mech.(mitigation.Throttler)
 	c.refi = int64(float64(ch.T.REFI) / mech.RefreshMultiplier())
 	if c.refi < int64(ch.T.RFC)+1 {
 		c.refi = int64(ch.T.RFC) + 1 // refresh storm floor: back-to-back REF
@@ -137,6 +148,11 @@ func (c *Controller) Mechanism() mitigation.Mechanism { return c.mech }
 
 // OnACT registers an external activation observer (e.g. the fault model).
 func (c *Controller) OnACT(fn dram.ACTObserver) { c.onACT = fn }
+
+// OnRefresh registers an external observer of the auto-refresh rotation,
+// so hammer accountants can clear per-row damage exactly when the DRAM
+// restores the rows' charge.
+func (c *Controller) OnRefresh(fn dram.RefreshObserver) { c.onREF = fn }
 
 // observeACT feeds the mitigation mechanism and external observers.
 func (c *Controller) observeACT(rank, bank, row int, cycle int64) {
@@ -160,6 +176,9 @@ func (c *Controller) observeRefresh(rank, bank, rowStart, rowCount int, cycle in
 	extra := c.mech.OnAutoRefresh(bank, rowStart, rowCount, cycle)
 	for _, v := range extra {
 		c.enqueueMitigation(bank, v)
+	}
+	if c.onREF != nil {
+		c.onREF(rank, bank, rowStart, rowCount, cycle)
 	}
 }
 
@@ -188,7 +207,16 @@ func (c *Controller) EnqueueRead(addr int64, onDone func()) bool {
 		c.Stats.ReadQueueFull++
 		return false
 	}
-	c.readQ = append(c.readQ, &request{addr: c.mapper.Map(addr), onDone: onDone, queued: c.cycle})
+	a := c.mapper.Map(addr)
+	// Request-level throttling (BlockHammer's RowBlocker-Req): once the
+	// queue is half full, reads to a blacklisted row are rejected at
+	// admission, so unissuable requests cannot crowd out other cores.
+	if c.throttle != nil && len(c.readQ) >= c.cfg.ReadQueue/2 &&
+		!c.throttle.ActAllowed(a.Bank, a.Row, c.cycle) {
+		c.Stats.ThrottledReads++
+		return false
+	}
+	c.readQ = append(c.readQ, &request{addr: a, onDone: onDone, queued: c.cycle})
 	c.Stats.Reads++
 	return true
 }
@@ -387,47 +415,82 @@ const starveLimit = 512
 
 // schedule applies FR-FCFS to the queue: ready row-hit column commands
 // first, otherwise progress the oldest request (ACT or PRE). Once the
-// oldest request is starving, it preempts row hits to its bank. Returns
-// true if a command issued.
+// oldest request is starving, it preempts row hits to its bank. A
+// throttle-blacklisted request is waiting on the mechanism, not on the
+// scheduler, so it neither counts as starving nor preempts anyone.
+// Returns true if a command issued.
 func (c *Controller) schedule(q []*request, write bool) bool {
 	if len(q) == 0 {
 		return false
 	}
-	starving := c.cycle-q[0].queued > starveLimit
+	// One throttle scan per cycle: find the oldest unthrottled request and
+	// hand its index to progressFrom, so the sketch queries behind
+	// ActAllowed are not repeated over the same prefix.
+	oldest := 0
+	if c.throttle != nil {
+		oldest = -1
+		for i, r := range q {
+			if !c.throttledIdle(r) {
+				oldest = i
+				break
+			}
+		}
+		if oldest != 0 {
+			c.Stats.ThrottleStallCycles++
+		}
+		if oldest < 0 {
+			// Every queued request is throttle-blocked with its row closed:
+			// no row hit or progress is possible this cycle.
+			return false
+		}
+	}
+	starving := c.cycle-q[oldest].queued > starveLimit
 	exclude := -1
 	if starving {
-		exclude = q[0].addr.Bank
-		if c.progressOldest(q, write) {
+		exclude = q[oldest].addr.Bank
+		if c.progressFrom(q, write, oldest) {
 			return true
 		}
 	}
 	if !c.cfg.FCFSOnly && c.scheduleRowHits(q, write, exclude) {
 		return true
 	}
-	if !starving && c.progressOldest(q, write) {
+	if !starving && c.progressFrom(q, write, oldest) {
 		return true
 	}
 	return false
 }
 
-// progressOldest moves the queue's front request forward: serve it when
-// its row is open, otherwise open (or close) the row it needs.
-func (c *Controller) progressOldest(q []*request, write bool) bool {
-	req := q[0]
+// throttledIdle reports whether a request is blocked by the throttling
+// mechanism: its row is not open (it would need an ACT) and the mechanism
+// denies that ACT.
+func (c *Controller) throttledIdle(req *request) bool {
+	if c.throttle == nil || c.ch.OpenRow(0, req.addr.Bank) == req.addr.Row {
+		return false
+	}
+	return !c.throttle.ActAllowed(req.addr.Bank, req.addr.Row, c.cycle)
+}
+
+// progressFrom moves q[start] — the oldest schedulable request, as
+// determined by schedule's throttle scan — forward: serve it when its row
+// is open, otherwise open (or close) the row it needs.
+func (c *Controller) progressFrom(q []*request, write bool, start int) bool {
+	req := q[start]
 	bank := req.addr.Bank
-	switch open := c.ch.OpenRow(0, bank); {
-	case open == req.addr.Row:
-		return c.serveAt(q, 0, write)
-	case open == -1:
+	open := c.ch.OpenRow(0, bank)
+	if open == req.addr.Row {
+		return c.serveAt(q, start, write)
+	}
+	if open == -1 {
 		if c.ch.CanIssue(dram.CmdACT, 0, bank, req.addr.Row, c.cycle) {
 			c.ch.Issue(dram.CmdACT, 0, bank, req.addr.Row, c.cycle)
 			return true
 		}
-	default:
-		if c.ch.CanIssue(dram.CmdPRE, 0, bank, 0, c.cycle) {
-			c.ch.Issue(dram.CmdPRE, 0, bank, 0, c.cycle)
-			return true
-		}
+		return false
+	}
+	if c.ch.CanIssue(dram.CmdPRE, 0, bank, 0, c.cycle) {
+		c.ch.Issue(dram.CmdPRE, 0, bank, 0, c.cycle)
+		return true
 	}
 	return false
 }

@@ -166,6 +166,61 @@ func TestExternalACTObserver(t *testing.T) {
 	}
 }
 
+func TestExternalRefreshObserver(t *testing.T) {
+	ctrl, ch := testController(t, nil)
+	covered := 0
+	ctrl.OnRefresh(func(rank, bank, rowStart, rowCount int, cycle int64) {
+		covered += rowCount
+	})
+	run(ctrl, int(ch.T.REFI)*3)
+	if covered == 0 {
+		t.Fatal("external refresh observer never fired")
+	}
+	// Every REF covers RowsPerREF rows in each bank.
+	wantPerREF := ch.T.RowsPerREF * ch.Geo.Banks()
+	if covered%wantPerREF != 0 {
+		t.Errorf("covered %d rows, want a multiple of %d", covered, wantPerREF)
+	}
+}
+
+// blockRow throttles ACTs to one row forever.
+type blockRow struct {
+	mitigation.None
+	bank, row int
+	denials   int64
+}
+
+func (b *blockRow) ActAllowed(bank, row int, cycle int64) bool {
+	if bank == b.bank && row == b.row {
+		b.denials++
+		return false
+	}
+	return true
+}
+
+func TestThrottledRowDoesNotStallOthers(t *testing.T) {
+	ctrl, ch := testController(t, &blockRow{bank: 0, row: 100})
+	mapper, err := dram.NewAddressMapper(ch.Geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockedDone, otherDone := false, false
+	// The blacklisted request is the oldest; a younger request in another
+	// bank must still progress past it.
+	ctrl.EnqueueRead(mapper.AddressOf(dram.Address{Bank: 0, Row: 100}), func() { blockedDone = true })
+	ctrl.EnqueueRead(mapper.AddressOf(dram.Address{Bank: 5, Row: 300}), func() { otherDone = true })
+	run(ctrl, 2000)
+	if blockedDone {
+		t.Error("permanently throttled request completed")
+	}
+	if !otherDone {
+		t.Fatal("younger request starved behind a throttled one")
+	}
+	if ctrl.Stats.ThrottleStallCycles == 0 {
+		t.Error("throttle stall cycles not counted")
+	}
+}
+
 func TestStarvationBounded(t *testing.T) {
 	// A stream of row hits to one bank must not starve a conflicting
 	// request in the same bank forever.

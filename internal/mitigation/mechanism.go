@@ -75,6 +75,15 @@ type Viability interface {
 	ViabilityNote() string
 }
 
+// Throttler is the optional extension throttling-based defenses implement
+// (BlockHammer, Yağlıkçı et al., HPCA 2021). The controller consults
+// ActAllowed before issuing a demand activation and delays the request
+// while it returns false; mitigation-triggered refreshes are never
+// throttled. Mechanisms still observe every issued ACT via OnActivate.
+type Throttler interface {
+	ActAllowed(bank, row int, cycle int64) bool
+}
+
 // clampRow keeps victim rows inside the bank.
 func clampNeighbors(row, rows int) []int {
 	var out []int

@@ -297,6 +297,160 @@ func TestProHITTracksAndRefreshesHotRows(t *testing.T) {
 	}
 }
 
+func TestClampNeighborsEdgeRows(t *testing.T) {
+	const rows = 100
+	cases := []struct {
+		row  int
+		want []int
+	}{
+		{0, []int{1}},         // bottom edge: no lower neighbor
+		{rows - 1, []int{98}}, // top edge: no upper neighbor
+		{1, []int{0, 2}},      // next to the edge: both exist
+		{50, []int{49, 51}},   // interior
+		{rows - 2, []int{97, 99}},
+	}
+	for _, c := range cases {
+		got := clampNeighbors(c.row, rows)
+		if len(got) != len(c.want) {
+			t.Errorf("clampNeighbors(%d) = %v, want %v", c.row, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("clampNeighbors(%d) = %v, want %v", c.row, got, c.want)
+				break
+			}
+		}
+	}
+	// A one-row bank has no neighbors at all.
+	if got := clampNeighbors(0, 1); len(got) != 0 {
+		t.Errorf("clampNeighbors(0, 1) = %v, want empty", got)
+	}
+}
+
+func TestViabilityNotes(t *testing.T) {
+	p := testParams(32_000)
+	para, _ := NewPARA(p, 833)
+	incr, _ := NewIncreasedRefresh(p)
+	incrLow, _ := NewIncreasedRefresh(testParams(2_000))
+	twice, _ := NewTWiCe(p, false)
+	twiceLow, _ := NewTWiCe(testParams(2_000), false)
+	twiceIdeal, _ := NewTWiCe(testParams(2_000), true)
+	prohit, _ := NewProHIT(testParams(2_000))
+	prohitOff, _ := NewProHIT(p)
+	mrloc, _ := NewMRLoc(testParams(2_000))
+	ideal, _ := NewIdeal(p)
+	bh, _ := NewBlockHammer(p)
+
+	cases := []struct {
+		name   string
+		v      Viability
+		viable bool
+	}{
+		{"PARA", para, true},
+		{"IncreasedRefresh@32k", incr, true},
+		{"IncreasedRefresh@2k", incrLow, false},
+		{"TWiCe@32k", twice, true},
+		{"TWiCe@2k", twiceLow, false},
+		{"TWiCe-ideal@2k", twiceIdeal, true},
+		{"ProHIT@2k", prohit, true},
+		{"ProHIT@32k", prohitOff, false},
+		{"MRLoc@2k", mrloc, true},
+		{"Ideal", ideal, true},
+		{"BlockHammer", bh, true},
+	}
+	for _, c := range cases {
+		if c.v.Viable() != c.viable {
+			t.Errorf("%s: Viable() = %v, want %v", c.name, c.v.Viable(), c.viable)
+		}
+		if c.v.ViabilityNote() == "" {
+			t.Errorf("%s: empty viability note", c.name)
+		}
+	}
+}
+
+func TestBlockHammerBlacklistsAndThrottles(t *testing.T) {
+	m, err := NewBlockHammer(testParams(2_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RefreshMultiplier() != 1 {
+		t.Error("BlockHammer must not change the refresh rate")
+	}
+	// Below the blacklist threshold nothing is throttled, and no victim
+	// refreshes are ever requested.
+	burst := int(m.NBL()) - 1
+	for i := 0; i < burst; i++ {
+		if !m.ActAllowed(0, 700, int64(i)) {
+			t.Fatalf("throttled after only %d ACTs (NBL=%.0f)", i, m.NBL())
+		}
+		if got := m.OnActivate(0, 700, int64(i), false); got != nil {
+			t.Fatalf("BlockHammer refreshed victims %v", got)
+		}
+	}
+	// Past the threshold the row must wait out the spacing interval.
+	m.OnActivate(0, 700, int64(burst), false)
+	if m.ActAllowed(0, 700, int64(burst)+1) {
+		t.Error("blacklisted row allowed to activate immediately")
+	}
+	if !m.ActAllowed(0, 700, int64(burst)+m.MinInterval()+1) {
+		t.Error("blacklisted row still blocked after the spacing interval")
+	}
+	if m.ThrottleEvents() == 0 {
+		t.Error("no throttle events counted")
+	}
+	// Other rows are unaffected.
+	if !m.ActAllowed(0, 5_000, int64(burst)+1) || !m.ActAllowed(3, 700, int64(burst)+1) {
+		t.Error("throttling leaked to unrelated rows")
+	}
+}
+
+func TestBlockHammerBudgetBoundsWindowACTs(t *testing.T) {
+	p := testParams(2_000)
+	m, err := NewBlockHammer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive one row as fast as the throttler allows across a full refresh
+	// window; the admitted ACT count must stay below HCfirst (so a victim
+	// flanked by two such aggressors accumulates < HCfirst hammers).
+	acts := 0
+	trc := p.TRC
+	for cycle := int64(0); cycle < p.TREFW; cycle += trc {
+		if m.ActAllowed(0, 123, cycle) {
+			m.OnActivate(0, 123, cycle, false)
+			acts++
+		}
+	}
+	if acts >= p.HCFirst {
+		t.Errorf("throttler admitted %d ACTs in one window, budget is < %d", acts, p.HCFirst)
+	}
+	if acts < int(m.NBL()) {
+		t.Errorf("throttler admitted only %d ACTs; burst of %.0f should pass", acts, m.NBL())
+	}
+}
+
+func TestBlockHammerEpochRotationForgivesOldActivity(t *testing.T) {
+	p := testParams(2_000)
+	m, err := NewBlockHammer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbl := int(m.NBL())
+	for i := 0; i < nbl+10; i++ {
+		m.OnActivate(0, 42, int64(i), false)
+	}
+	if m.ActAllowed(0, 42, int64(nbl)+11) {
+		t.Fatal("row not blacklisted during the epoch")
+	}
+	// Two epoch lengths later both live filters have rotated past the
+	// burst: the row starts fresh.
+	later := p.TREFW + 10
+	if !m.ActAllowed(0, 42, later) {
+		t.Error("blacklist survived full filter rotation")
+	}
+}
+
 func TestMRLocRefreshesLocalVictims(t *testing.T) {
 	m, err := NewMRLoc(testParams(2_000))
 	if err != nil {

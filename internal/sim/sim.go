@@ -35,9 +35,23 @@ type Config struct {
 	MeasureInsts int64
 
 	// MaxCPUCycles bounds runaway runs (0 = derived from MeasureInsts).
+	// Attack evaluations use it as the primary termination: with a huge
+	// MeasureInsts the run lasts exactly this many CPU cycles.
 	MaxCPUCycles int64
 
 	Mechanism mitigation.Mechanism
+
+	// Observer, when non-nil, receives the controller's full DRAM command
+	// stream (every ACT including mitigation refreshes, and the rows each
+	// auto-refresh rotation covers). The attack subsystem couples the
+	// fault model to the simulation through this hook.
+	Observer CommandObserver
+}
+
+// CommandObserver watches the DRAM command stream of a simulation run.
+type CommandObserver interface {
+	OnACT(rank, bank, row int, cycle int64)
+	OnRefresh(rank, bank, rowStart, rowCount int, cycle int64)
 }
 
 // Table6Config returns the paper's system configuration with the given
@@ -126,6 +140,10 @@ func Run(cfg Config, mix trace.Mix) (*Result, error) {
 	ctrl, err := memctrl.New(cfg.Ctrl, ch, mech)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Observer != nil {
+		ctrl.OnACT(cfg.Observer.OnACT)
+		ctrl.OnRefresh(cfg.Observer.OnRefresh)
 	}
 	llc, err := cache.New(cfg.LLC, ctrl, len(mix.Traces))
 	if err != nil {

@@ -17,11 +17,14 @@ import (
 )
 
 // Record is one trace entry: Gap non-memory instructions followed by one
-// memory access.
+// memory access. NoCache marks a flush+load (the clflush-based access
+// RowHammer attack code uses): the LLC invalidates any cached copy and
+// forwards the read straight to the memory controller without allocating.
 type Record struct {
-	Gap   int
-	Addr  int64
-	Write bool
+	Gap     int
+	Addr    int64
+	Write   bool
+	NoCache bool
 }
 
 // Trace is a finite instruction trace replayed cyclically by the core.
@@ -60,17 +63,28 @@ func (t *Trace) Instructions() int64 {
 // MemoryAccesses returns the number of memory instructions per pass.
 func (t *Trace) MemoryAccesses() int { return len(t.Records) }
 
-// Encode writes the trace in the text format "gap addr R|W", one record
-// per line, with a header comment.
+// Encode writes the trace in the text format "gap addr R|W|F", one
+// record per line ("F" is an uncached flush+load), with a header comment
+// carrying the replay parameters (PassStride, Span) so a decoded trace
+// pass-shifts exactly like the original.
 func (t *Trace) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "# trace %s records=%d\n", t.Name, len(t.Records)); err != nil {
+	if _, err := fmt.Fprintf(bw, "# trace %s records=%d stride=%d span=%d\n",
+		t.Name, len(t.Records), t.PassStride, t.Span); err != nil {
 		return err
 	}
-	for _, r := range t.Records {
+	for i, r := range t.Records {
 		op := "R"
-		if r.Write {
+		switch {
+		case r.Write && r.NoCache:
+			// No op letter exists for an uncached store (the core model
+			// has no such access); refusing beats silently dropping a flag
+			// on the round trip.
+			return fmt.Errorf("trace: record %d: Write and NoCache are mutually exclusive", i)
+		case r.Write:
 			op = "W"
+		case r.NoCache:
+			op = "F"
 		}
 		if _, err := fmt.Fprintf(bw, "%d %d %s\n", r.Gap, r.Addr, op); err != nil {
 			return err
@@ -93,10 +107,22 @@ func Decode(r io.Reader) (*Trace, error) {
 		}
 		if strings.HasPrefix(line, "#") {
 			fields := strings.Fields(line)
-			for _, f := range fields {
-				if strings.HasPrefix(f, "trace") && len(fields) > 2 {
-					t.Name = fields[2]
-					break
+			for i, f := range fields {
+				switch {
+				case f == "trace" && i+1 < len(fields):
+					t.Name = fields[i+1]
+				case strings.HasPrefix(f, "stride="):
+					v, err := strconv.ParseInt(f[len("stride="):], 10, 64)
+					if err != nil {
+						return nil, fmt.Errorf("trace: line %d: bad %q", lineNo, f)
+					}
+					t.PassStride = v
+				case strings.HasPrefix(f, "span="):
+					v, err := strconv.ParseInt(f[len("span="):], 10, 64)
+					if err != nil {
+						return nil, fmt.Errorf("trace: line %d: bad %q", lineNo, f)
+					}
+					t.Span = v
 				}
 			}
 			continue
@@ -113,15 +139,17 @@ func Decode(r io.Reader) (*Trace, error) {
 		if err != nil || addr < 0 {
 			return nil, fmt.Errorf("trace: line %d: bad address %q", lineNo, fields[1])
 		}
-		var write bool
+		var write, noCache bool
 		switch fields[2] {
 		case "R":
 		case "W":
 			write = true
+		case "F":
+			noCache = true
 		default:
 			return nil, fmt.Errorf("trace: line %d: bad op %q", lineNo, fields[2])
 		}
-		t.Records = append(t.Records, Record{Gap: gap, Addr: addr, Write: write})
+		t.Records = append(t.Records, Record{Gap: gap, Addr: addr, Write: write, NoCache: noCache})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

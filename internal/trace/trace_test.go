@@ -109,6 +109,55 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 			t.Fatalf("record %d mismatch", i)
 		}
 	}
+	// The replay parameters must survive the round trip: without them a
+	// decoded trace stops pass-shifting and streaming workloads collapse
+	// into cache-resident ones.
+	if got.PassStride != orig.PassStride || got.Span != orig.Span {
+		t.Errorf("replay params stride=%d span=%d, want stride=%d span=%d",
+			got.PassStride, got.Span, orig.PassStride, orig.Span)
+	}
+	if got.PassOffset(3) != orig.PassOffset(3) {
+		t.Errorf("pass offset %d, want %d", got.PassOffset(3), orig.PassOffset(3))
+	}
+}
+
+func TestEncodeDecodeUncachedRecords(t *testing.T) {
+	orig := &Trace{
+		Name:       "attack-double-sided",
+		PassStride: 0,
+		Span:       0,
+		Records: []Record{
+			{Gap: 63, Addr: 4096, NoCache: true},
+			{Gap: 63, Addr: 8192, NoCache: true},
+			{Gap: 0, Addr: 64, Write: true},
+			{Gap: 1, Addr: 128},
+		},
+	}
+	var buf bytes.Buffer
+	if err := orig.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(orig.Records) {
+		t.Fatalf("records %d, want %d", len(got.Records), len(orig.Records))
+	}
+	for i := range got.Records {
+		if got.Records[i] != orig.Records[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got.Records[i], orig.Records[i])
+		}
+	}
+	if !got.Records[0].NoCache || got.Records[2].NoCache {
+		t.Error("NoCache flags lost in round trip")
+	}
+	// An uncached store has no encoding; Encode must refuse rather than
+	// silently drop a flag.
+	bad := &Trace{Records: []Record{{Addr: 64, Write: true, NoCache: true}}}
+	if err := bad.Encode(&bytes.Buffer{}); err == nil {
+		t.Error("Write+NoCache record encoded without error")
+	}
 }
 
 func TestDecodeRejectsMalformed(t *testing.T) {

@@ -15,16 +15,22 @@
 //   - The system simulator and mitigation mechanisms (SimConfig, RunSim,
 //     NewPARA, …): the cycle-accurate Section 6 evaluation behind
 //     Figure 10.
+//   - The attack subsystem (AttackSpec, HammerObserver, RunAttackEval):
+//     adversarial hammering streams as first-class traces, coupled to the
+//     fault model through the controller's command stream — the security
+//     side of the mitigation evaluation the paper doesn't contain.
 //
-// The experiment runners (RunTable1 … RunFigure10) regenerate every table
-// and figure of the paper; see EXPERIMENTS.md for paper-vs-measured
-// values. Every runner fans its (configuration, chip) or (mechanism,
-// HCfirst) grid out over a deterministic parallel engine: the Parallelism
-// field of Options / MitigationOptions bounds worker count and changes
-// wall-clock time only — results are bit-identical for any value.
+// The experiment runners (RunTable1 … RunFigure10, RunAttackEval)
+// regenerate every table and figure of the paper plus the attack
+// evaluation; see EXPERIMENTS.md for paper-vs-measured values. Every
+// runner fans its (configuration, chip) or (mechanism, HCfirst) grid out
+// over a deterministic parallel engine: the Parallelism field of
+// Options / MitigationOptions / AttackOptions bounds worker count and
+// changes wall-clock time only — results are bit-identical for any value.
 package rowhammer
 
 import (
+	"repro/internal/attack"
 	"repro/internal/charact"
 	"repro/internal/chips"
 	"repro/internal/core"
@@ -181,7 +187,7 @@ func WorkloadMixes(n, cores, records int, seed uint64) []Mix {
 	return trace.Mixes(n, cores, records, seed)
 }
 
-// Mechanism constructors (Section 6.1).
+// Mechanism constructors (Section 6.1, plus the post-paper BlockHammer).
 func NewPARA(p MitigationParams, tckPS int64) (Mechanism, error) {
 	return mitigation.NewPARA(p, tckPS)
 }
@@ -194,9 +200,71 @@ func NewTWiCe(p MitigationParams, ideal bool) (Mechanism, error) {
 	return mitigation.NewTWiCe(p, ideal)
 }
 func NewIdealMechanism(p MitigationParams) (Mechanism, error) { return mitigation.NewIdeal(p) }
+func NewBlockHammer(p MitigationParams) (Mechanism, error)    { return mitigation.NewBlockHammer(p) }
 
 // DDR4Timing returns the DDR4-2400 timing set used by the simulations.
 func DDR4Timing(rowsPerBank int) dram.Timing { return dram.DDR4_2400(rowsPerBank) }
+
+// --- Attack subsystem ----------------------------------------------------
+
+// AttackKind identifies an adversarial access pattern (single-sided,
+// double-sided, TRRespass-style many-sided, scattered multi-bank,
+// decoy-interleaved).
+type AttackKind = attack.Kind
+
+// Attack pattern catalog.
+const (
+	AttackSingleSided = attack.SingleSided
+	AttackDoubleSided = attack.DoubleSided
+	AttackManySided   = attack.ManySided
+	AttackScattered   = attack.Scattered
+	AttackDecoy       = attack.Decoy
+)
+
+// AttackKinds lists the pattern catalog in evaluation order.
+func AttackKinds() []AttackKind { return attack.Kinds() }
+
+// AttackSpec parameterizes one synthesized attack stream; its Synthesize
+// method turns a spec plus a victim target into a first-class Trace of
+// uncached hammering reads.
+type AttackSpec = attack.Spec
+
+// AttackTarget anchors an attack at a victim (bank, row).
+type AttackTarget = attack.Target
+
+// AttackRowRef names one row an attack stream deliberately activates.
+type AttackRowRef = attack.RowRef
+
+// HammerObserver is the per-bank hammer accountant coupling a memory
+// controller's ACT/REF command stream to a fault-model chip; it
+// implements SimConfig's CommandObserver hook.
+type HammerObserver = attack.Observer
+
+// AttackFlipEvent is one escaped bit flip with its crossing cycle.
+type AttackFlipEvent = attack.FlipEvent
+
+// NewHammerObserver builds an accountant over a chip (which must have a
+// written data pattern).
+func NewHammerObserver(chip *Chip) *HammerObserver { return attack.NewObserver(chip) }
+
+// AttackOptions scales the attack evaluation; AttackEval is its result.
+type AttackOptions = core.AttackOptions
+type AttackEval = core.AttackEval
+
+// AttackPoint is one (mechanism, pattern, HCfirst) outcome.
+type AttackPoint = core.AttackPoint
+
+// MechanismID names a mechanism in the evaluation runners.
+type MechanismID = core.MechanismID
+
+// DefaultAttackOptions returns the CLI-scale attack evaluation options.
+func DefaultAttackOptions() AttackOptions { return core.DefaultAttackOptions() }
+
+// RunAttackEval runs the security evaluation the paper doesn't contain:
+// mixed attacker+benign simulations over a (mechanism × pattern ×
+// HCfirst) grid, reporting escaped flips, time to first flip and achieved
+// aggressor ACT rate alongside benign performance and bandwidth overhead.
+func RunAttackEval(o AttackOptions) (*AttackEval, error) { return core.RunAttackEval(o) }
 
 // --- DRAM substrate ------------------------------------------------------
 
