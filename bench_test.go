@@ -416,7 +416,7 @@ func BenchmarkControllerSaturated(b *testing.B) {
 		}
 		addr := int64(0)
 		for c := 0; c < 100_000; c++ {
-			ctrl.EnqueueRead(mapper.LineAddress(addr), func() {})
+			ctrl.EnqueueRead(0, mapper.LineAddress(addr), func() {})
 			addr += 4096 // row-conflict heavy
 			ctrl.Tick()
 		}

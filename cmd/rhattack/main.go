@@ -46,6 +46,10 @@ func main() {
 		records     = flag.Int("records", d.TraceRecords, "memory records per benign trace")
 		cycles      = flag.Int64("cycles", d.MemCycles, "attack duration in memory-clock cycles")
 		rows        = flag.Int("rows", 0, "rows per bank (0 = Table 6's 16384)")
+		sched       = flag.String("sched", "", "memory scheduler: FR-FCFS (default) or BLISS")
+		ecc         = flag.Bool("ecc", false, "evaluate LPDDR4-like chips with on-die ECC (post-correction flips + raw counts)")
+		duty        = flag.Float64("duty", 0, "attacker duty cycle in (0,1): hammer this fraction of each refresh interval, idle the rest")
+		phase       = flag.Float64("phase", 0, "attacker phase in (0,1): shift the bursts within each refresh interval by this fraction (with -duty)")
 		parallel    = flag.Int("parallel", 0, "concurrent simulations (0 = all cores; output is identical for any value)")
 		seed        = flag.Uint64("seed", d.Seed, "evaluation seed")
 		showCatalog = flag.Bool("catalog", false, "print the attack pattern catalog and exit")
@@ -65,9 +69,13 @@ func main() {
 		TraceRecords: *records,
 		MemCycles:    *cycles,
 		Rows:         *rows,
+		Scheduler:    core.SchedulerID(*sched),
+		ECC:          *ecc,
 		Parallelism:  *parallel,
 		Seed:         *seed,
 	}
+	o.AttackSpec.DutyCycle = *duty
+	o.AttackSpec.Phase = *phase
 	if *patternsStr != "" {
 		for _, p := range strings.Split(*patternsStr, ",") {
 			o.Patterns = append(o.Patterns, attack.Kind(strings.TrimSpace(p)))

@@ -1,0 +1,90 @@
+// Command rhpareto runs the combined security/overhead Pareto sweep: a
+// (mechanism × scheduler × HCfirst) grid in which every point faces each
+// attack pattern plus one attacker-free run, reporting worst-case escaped
+// flips against worst-case benign throughput as frontier points per
+// HCfirst. It is the experiment that answers "which defense + scheduler
+// combination buys the most security for the least benign cost?".
+//
+// Usage:
+//
+//	rhpareto                                       # default grid
+//	rhpareto -mechs BlockHammer,BlockHammer-blanket -scheds FR-FCFS,BLISS
+//	rhpareto -patterns decoy -hc 512 -cycles 1000000 -rows 4096
+//	rhpareto -ecc                                  # LPDDR4-like on-die ECC chips
+//	rhpareto -duty 0.5 -phase 0.25                 # refresh-pause-aware streams
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+)
+
+func main() {
+	d := core.DefaultParetoOptions()
+	var (
+		mechsStr    = flag.String("mechs", "", "comma-separated mechanisms (default: None,PARA,BlockHammer-blanket,BlockHammer,Ideal)")
+		schedsStr   = flag.String("scheds", "", "comma-separated schedulers (default: FR-FCFS,BLISS)")
+		patternsStr = flag.String("patterns", "", "comma-separated attack patterns (default: double-sided,decoy)")
+		hcStr       = flag.String("hc", "", "comma-separated HCfirst grid points (default: 4800,512)")
+		benign      = flag.Int("benign", d.BenignCores, "benign cores sharing the system with the attacker")
+		records     = flag.Int("records", d.TraceRecords, "memory records per benign trace")
+		cycles      = flag.Int64("cycles", d.MemCycles, "attack duration in memory-clock cycles")
+		rows        = flag.Int("rows", 0, "rows per bank (0 = Table 6's 16384)")
+		ecc         = flag.Bool("ecc", false, "evaluate LPDDR4-like chips with on-die ECC (post-correction flips + raw counts)")
+		duty        = flag.Float64("duty", 0, "attacker duty cycle in (0,1): hammer this fraction of each refresh interval, idle the rest")
+		phase       = flag.Float64("phase", 0, "attacker phase in (0,1): shift the bursts within each refresh interval by this fraction (with -duty)")
+		parallel    = flag.Int("parallel", 0, "concurrent simulations (0 = all cores; output is identical for any value)")
+		seed        = flag.Uint64("seed", d.Seed, "evaluation seed")
+	)
+	flag.Parse()
+
+	o := core.ParetoOptions{
+		BenignCores:  *benign,
+		TraceRecords: *records,
+		MemCycles:    *cycles,
+		Rows:         *rows,
+		ECC:          *ecc,
+		Parallelism:  *parallel,
+		Seed:         *seed,
+	}
+	o.AttackSpec.DutyCycle = *duty
+	o.AttackSpec.Phase = *phase
+	if *mechsStr != "" {
+		for _, m := range strings.Split(*mechsStr, ",") {
+			o.Mechanisms = append(o.Mechanisms, core.MechanismID(strings.TrimSpace(m)))
+		}
+	}
+	if *schedsStr != "" {
+		for _, s := range strings.Split(*schedsStr, ",") {
+			o.Schedulers = append(o.Schedulers, core.SchedulerID(strings.TrimSpace(s)))
+		}
+	}
+	if *patternsStr != "" {
+		for _, p := range strings.Split(*patternsStr, ",") {
+			o.Patterns = append(o.Patterns, attack.Kind(strings.TrimSpace(p)))
+		}
+	}
+	if *hcStr != "" {
+		for _, s := range strings.Split(*hcStr, ",") {
+			hc, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || hc <= 0 {
+				fmt.Fprintf(os.Stderr, "rhpareto: bad HCfirst value %q\n", s)
+				os.Exit(2)
+			}
+			o.HCSweep = append(o.HCSweep, hc)
+		}
+	}
+
+	sweep, err := core.RunParetoSweep(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhpareto: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(sweep.Format())
+}

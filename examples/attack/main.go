@@ -65,7 +65,7 @@ func attack(mech rowhammer.Mechanism, cycles int64) (flips int, acts int64, err 
 	next := aggLo
 	for c := int64(0); c < cycles; c++ {
 		if ctrl.PendingReads() == 0 {
-			ctrl.EnqueueRead(next, func() {})
+			ctrl.EnqueueRead(0, next, func() {})
 			if next == aggLo {
 				next = aggHi
 			} else {

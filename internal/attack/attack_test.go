@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dram"
 	"repro/internal/faultmodel"
+	"repro/internal/trace"
 )
 
 func testGeo() dram.Geometry {
@@ -210,6 +211,162 @@ func TestSynthesizeDeterministic(t *testing.T) {
 		if a.Records[i] != b.Records[i] {
 			t.Fatalf("record %d differs across same-seed synthesis", i)
 		}
+	}
+}
+
+func TestDutyCyclePacing(t *testing.T) {
+	geo := testGeo()
+	target := Target{Bank: 1, Row: 300}
+	continuous, _, err := Spec{Kind: DoubleSided, Records: 256, Seed: 3}.Synthesize(geo, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paced, _, err := Spec{Kind: DoubleSided, Records: 256, Seed: 3, DutyCycle: 0.25}.Synthesize(geo, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paced.Records) != len(continuous.Records) {
+		t.Fatalf("pacing changed the record count: %d vs %d", len(paced.Records), len(continuous.Records))
+	}
+	// The paced stream idles through 75% of each period in gap
+	// instructions the continuous stream doesn't have.
+	idles := 0
+	for i := range paced.Records {
+		if paced.Records[i].Addr != continuous.Records[i].Addr {
+			t.Fatalf("record %d: pacing changed the access stream", i)
+		}
+		if paced.Records[i].Gap > continuous.Records[i].Gap {
+			idles++
+		}
+	}
+	if idles == 0 {
+		t.Fatal("duty cycle inserted no idle stretches")
+	}
+	period := float64(defaultPeriodCycles)
+	wantIdle := int(0.75 * period * idleInstsPerMemCycle)
+	if paced.Instructions() < continuous.Instructions()+int64(idles)*int64(wantIdle)/2 {
+		t.Errorf("paced trace only %d instructions vs %d continuous; idle stretches too short",
+			paced.Instructions(), continuous.Instructions())
+	}
+
+	// Phase shifts where within each period the idle stretch falls: the
+	// first burst is shortened, every later boundary moves with it, and —
+	// because the shift is periodic, not a one-time prefix — the structure
+	// survives cyclic replay.
+	phased, _, err := Spec{Kind: DoubleSided, Records: 256, Seed: 3, DutyCycle: 0.25, Phase: 0.5}.Synthesize(geo, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unphased, _, err := Spec{Kind: DoubleSided, Records: 256, Seed: 3, DutyCycle: 0.25}.Synthesize(geo, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idleAt := func(recs []trace.Record) []int {
+		var out []int
+		for i := range recs {
+			if recs[i].Gap > continuous.Records[i].Gap {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	phasedIdx := idleAt(phased.Records)
+	baseIdx := idleAt(unphased.Records)
+	if len(phasedIdx) < 2 || len(baseIdx) < 2 {
+		t.Fatalf("too few idle stretches to compare: %d phased, %d unphased", len(phasedIdx), len(baseIdx))
+	}
+	if phasedIdx[0] >= baseIdx[0] {
+		t.Errorf("phase 0.5 first idle at record %d, want earlier than unphased %d", phasedIdx[0], baseIdx[0])
+	}
+	if (phasedIdx[1] - phasedIdx[0]) != (baseIdx[1] - baseIdx[0]) {
+		t.Errorf("phase changed the burst period: %d vs %d", phasedIdx[1]-phasedIdx[0], baseIdx[1]-baseIdx[0])
+	}
+	if phased.Records[0].Gap != continuous.Records[0].Gap {
+		t.Error("phase added a one-time prefix delay; it would re-apply on every replay pass")
+	}
+}
+
+func TestObserverTimeline(t *testing.T) {
+	chip := testChip(t, 1000)
+	obs := NewObserver(chip)
+	weak := chip.WeakestCell()
+	lo, hi, _ := chip.AggressorsFor(weak.Row)
+	obs.WatchAggressors([]RowRef{{Bank: weak.Bank, Row: lo}, {Bank: weak.Bank, Row: hi}})
+
+	obs.OnACT(0, weak.Bank, lo, 10)
+	obs.OnACT(0, weak.Bank, hi, 20)
+	obs.OnACT(0, weak.Bank, 900, 30) // unwatched row
+	// One REF covers every bank at the same cycle: the window must close
+	// exactly once.
+	for b := 0; b < chip.Banks(); b++ {
+		obs.OnRefresh(0, b, 0, 64, 100)
+	}
+	obs.OnACT(0, weak.Bank, lo, 150)
+	for b := 0; b < chip.Banks(); b++ {
+		obs.OnRefresh(0, b, 64, 64, 200)
+	}
+	tl := obs.Timeline()
+	if len(tl) != 2 {
+		t.Fatalf("timeline windows = %d, want 2 (per-bank REF callbacks must deduplicate)", len(tl))
+	}
+	if tl[0].REFCycle != 100 || tl[0].ACTs != 3 || tl[0].AggressorACTs != 2 {
+		t.Errorf("window 0 = %+v, want REF@100 with 3 ACTs / 2 aggressor", tl[0])
+	}
+	if tl[1].REFCycle != 200 || tl[1].ACTs != 1 || tl[1].AggressorACTs != 1 {
+		t.Errorf("window 1 = %+v, want REF@200 with 1 ACT / 1 aggressor", tl[1])
+	}
+}
+
+// eccChip builds an on-die-ECC (LPDDR4-like) chip for observer tests.
+func eccChip(t *testing.T, hc float64) *faultmodel.Chip {
+	t.Helper()
+	geo := testGeo()
+	chip, err := faultmodel.NewChip(faultmodel.Config{
+		Name: "attack-ecc", Banks: geo.Banks(), Rows: geo.Rows, RowBits: 512,
+		HCFirst: hc, Rate150k: 5e-5,
+		WorstPattern: faultmodel.RowStripe0, OnDieECC: true, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip.WriteAll(faultmodel.RowStripe0)
+	return chip
+}
+
+func TestObserverECCPostCorrection(t *testing.T) {
+	chip := eccChip(t, 1000)
+	obs := NewObserver(chip)
+	weak := chip.WeakestCell()
+	lo, hi, ok := chip.AggressorsFor(weak.Row)
+	if !ok {
+		t.Fatal("weakest cell at bank edge")
+	}
+	hammerTo := func(target int) {
+		for obs.Damage(weak.Bank, weak.Row) < float64(target) {
+			obs.OnACT(0, weak.Bank, lo, 0)
+			obs.OnACT(0, weak.Bank, hi, 0)
+		}
+	}
+	// Just past the weakest cell: one raw flip, corrected by the SEC code,
+	// so nothing escapes yet.
+	hammerTo(1001)
+	if obs.RawFlips() == 0 {
+		t.Fatal("no raw flip past the weakest threshold")
+	}
+	if obs.EscapedFlips() != 0 {
+		t.Fatalf("single raw flip escaped through on-die ECC: %v", obs.Flips())
+	}
+	// Past the same-word companion (≤1.12×HCfirst): two raw flips share a
+	// codeword, the decoder's behaviour is undefined, and flips escape.
+	hammerTo(1150)
+	if obs.RawFlips() < 2 {
+		t.Fatalf("raw flips = %d, want ≥2 past the companion threshold", obs.RawFlips())
+	}
+	if obs.EscapedFlips() == 0 {
+		t.Error("double raw flip fully corrected — SEC cannot do that")
+	}
+	if obs.EscapedFlips() > 0 && obs.FirstFlipCycle() < 0 {
+		t.Error("escaped flips without a first-flip cycle")
 	}
 }
 

@@ -1,6 +1,8 @@
 package attack
 
 import (
+	"sort"
+
 	"repro/internal/faultmodel"
 )
 
@@ -13,6 +15,21 @@ type FlipEvent struct {
 	Cycle int64
 }
 
+// REFWindow summarizes the command stream observed between two consecutive
+// REF commands — the granularity at which TRR-style in-DRAM samplers
+// operate, and therefore the resolution at which refresh-pause-aware
+// attacks (Spec.Phase / Spec.DutyCycle) show their timing structure.
+type REFWindow struct {
+	// REFCycle is the memory cycle of the REF that closed the window.
+	REFCycle int64
+	// ACTs counts all activations inside the window; AggressorACTs the
+	// subset on watched aggressor rows.
+	ACTs          int64
+	AggressorACTs int64
+	// Flips counts escaped flips recorded inside the window.
+	Flips int
+}
+
 // Observer is the per-bank hammer accountant that closes the security
 // loop: it watches the controller's full command stream (every ACT,
 // including mitigation victim refreshes, and the auto-refresh rotation)
@@ -22,6 +39,11 @@ type FlipEvent struct {
 // recorded as escaped — permanently, as a real RowHammer flip persists
 // until software rewrites the data.
 //
+// For chips with on-die ECC, crossings are tracked at raw-cell
+// granularity (parity cells included) and filtered through the chip's
+// real SEC decoder, so EscapedFlips reports what the system observes
+// after correction while RawFlips keeps the pre-correction count.
+//
 // It implements sim.CommandObserver; drive it manually via OnACT/OnRefresh
 // when wiring a bare controller. Not safe for concurrent use.
 type Observer struct {
@@ -29,6 +51,7 @@ type Observer struct {
 	banks     int
 	rows      int
 	wordlines int
+	ecc       bool
 
 	// damage holds effective hammers per bank*wordlines+wl since the
 	// wordline's last restoration.
@@ -42,9 +65,20 @@ type Observer struct {
 
 	totalACTs int64
 
+	// ECC bookkeeping: raw crossings seen so far, per (bank,row), so each
+	// new raw flip re-runs the row's word decode against the full set.
+	rawSeen  map[faultmodel.Flip]struct{}
+	rawByRow map[int64][]int
+	rawCount int
+
 	seen      map[faultmodel.Flip]struct{}
 	flips     []FlipEvent
 	firstFlip int64
+
+	// Per-REF timeline.
+	windows      []REFWindow
+	cur          REFWindow
+	lastREFCycle int64
 }
 
 // NewObserver builds an accountant over the chip. The chip must already
@@ -52,15 +86,19 @@ type Observer struct {
 func NewObserver(chip *faultmodel.Chip) *Observer {
 	n := chip.Banks() * chip.Wordlines()
 	return &Observer{
-		chip:      chip,
-		banks:     chip.Banks(),
-		rows:      chip.Rows(),
-		wordlines: chip.Wordlines(),
-		damage:    make([]float64, n),
-		next:      make([]float64, n),
-		watch:     make(map[int64]struct{}),
-		seen:      make(map[faultmodel.Flip]struct{}),
-		firstFlip: -1,
+		chip:         chip,
+		banks:        chip.Banks(),
+		rows:         chip.Rows(),
+		wordlines:    chip.Wordlines(),
+		ecc:          chip.Config().OnDieECC,
+		damage:       make([]float64, n),
+		next:         make([]float64, n),
+		watch:        make(map[int64]struct{}),
+		rawSeen:      make(map[faultmodel.Flip]struct{}),
+		rawByRow:     make(map[int64][]int),
+		seen:         make(map[faultmodel.Flip]struct{}),
+		firstFlip:    -1,
+		lastREFCycle: -1,
 	}
 }
 
@@ -82,8 +120,10 @@ func (o *Observer) OnACT(rank, bank, row int, cycle int64) {
 		return
 	}
 	o.totalACTs++
+	o.cur.ACTs++
 	if _, ok := o.watch[int64(bank)<<32|int64(row)]; ok {
 		o.aggACTs++
+		o.cur.AggressorACTs++
 	}
 	wl := o.chip.WordlineIndex(row)
 	o.damage[o.key(bank, wl)] = 0 // activation restores the row's charge
@@ -91,32 +131,92 @@ func (o *Observer) OnACT(rank, bank, row int, cycle int64) {
 		k := o.key(bank, n)
 		o.damage[k] += w
 		if o.next[k] == 0 {
-			_, t := o.chip.ThresholdCrossings(bank, n, 0)
+			_, t := o.crossings(bank, n, 0)
 			o.next[k] = t
 		}
 		if o.damage[k] < o.next[k] {
 			return
 		}
-		crossed, t := o.chip.ThresholdCrossings(bank, n, o.damage[k])
+		crossed, t := o.crossings(bank, n, o.damage[k])
 		o.next[k] = t
-		for _, f := range crossed {
-			if _, dup := o.seen[f]; dup {
-				continue
-			}
-			o.seen[f] = struct{}{}
-			o.flips = append(o.flips, FlipEvent{Flip: f, Cycle: cycle})
-			if o.firstFlip < 0 {
-				o.firstFlip = cycle
+		if o.ecc {
+			o.recordRawCrossings(crossed, cycle)
+		} else {
+			for _, f := range crossed {
+				o.recordFlip(f, cycle)
 			}
 		}
 	})
 }
 
+// crossings selects the raw (parity-inclusive) or data-only threshold
+// query depending on whether the chip corrects through on-die ECC.
+func (o *Observer) crossings(bank, wl int, e float64) ([]faultmodel.Flip, float64) {
+	if o.ecc {
+		return o.chip.RawThresholdCrossings(bank, wl, e)
+	}
+	return o.chip.ThresholdCrossings(bank, wl, e)
+}
+
+// recordRawCrossings folds new raw cell flips into their rows' flip sets
+// and re-runs the on-die ECC decode: only post-correction data flips are
+// recorded as escaped, with the cycle of the raw crossing that caused
+// them.
+func (o *Observer) recordRawCrossings(crossed []faultmodel.Flip, cycle int64) {
+	touched := make(map[int64]faultmodel.Flip)
+	for _, f := range crossed {
+		if _, dup := o.rawSeen[f]; dup {
+			continue
+		}
+		o.rawSeen[f] = struct{}{}
+		o.rawCount++
+		rk := int64(f.Bank)<<32 | int64(f.Row)
+		o.rawByRow[rk] = append(o.rawByRow[rk], f.Bit)
+		touched[rk] = f
+	}
+	// Deterministic order over the touched rows (map iteration is not).
+	keys := make([]int64, 0, len(touched))
+	for rk := range touched {
+		keys = append(keys, rk)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, rk := range keys {
+		f := touched[rk]
+		for _, obs := range o.chip.ObservedFromRaw(f.Bank, f.Row, o.rawByRow[rk]) {
+			o.recordFlip(obs, cycle)
+		}
+	}
+}
+
+// recordFlip appends a newly escaped data flip (idempotent per cell).
+func (o *Observer) recordFlip(f faultmodel.Flip, cycle int64) {
+	if _, dup := o.seen[f]; dup {
+		return
+	}
+	o.seen[f] = struct{}{}
+	o.flips = append(o.flips, FlipEvent{Flip: f, Cycle: cycle})
+	o.cur.Flips++
+	if o.firstFlip < 0 {
+		o.firstFlip = cycle
+	}
+	if !o.ecc {
+		o.rawCount++
+	}
+}
+
 // OnRefresh clears the damage of every wordline the auto-refresh rotation
-// covers (wrapping at the bank edge, as the DRAM rotation does).
+// covers (wrapping at the bank edge, as the DRAM rotation does), and
+// closes the current timeline window on the first bank of each REF.
 func (o *Observer) OnRefresh(rank, bank, rowStart, rowCount int, cycle int64) {
 	if bank < 0 || bank >= o.banks {
 		return
+	}
+	// One REF covers every bank at the same cycle; close the window once.
+	if cycle != o.lastREFCycle {
+		o.cur.REFCycle = cycle
+		o.windows = append(o.windows, o.cur)
+		o.cur = REFWindow{}
+		o.lastREFCycle = cycle
 	}
 	for i := 0; i < rowCount; i++ {
 		r := (rowStart + i) % o.rows
@@ -130,8 +230,17 @@ func (o *Observer) OnRefresh(rank, bank, rowStart, rowCount int, cycle int64) {
 // Flips returns the escaped flips in occurrence order.
 func (o *Observer) Flips() []FlipEvent { return o.flips }
 
-// EscapedFlips returns the count of distinct escaped bit flips.
+// EscapedFlips returns the count of distinct escaped bit flips — the
+// post-correction count for chips with on-die ECC.
 func (o *Observer) EscapedFlips() int { return len(o.flips) }
+
+// RawFlips returns the count of distinct raw cell flips before any on-die
+// ECC correction. Equal to EscapedFlips for chips without ECC.
+func (o *Observer) RawFlips() int { return o.rawCount }
+
+// Timeline returns the closed per-REF windows in time order. Activity
+// after the last observed REF is not included.
+func (o *Observer) Timeline() []REFWindow { return o.windows }
 
 // FirstFlipCycle returns the memory cycle of the first escaped flip, or
 // -1 when none escaped.

@@ -68,8 +68,35 @@ type Spec struct {
 	// cyclically; default 2048).
 	Records int
 
+	// DutyCycle in (0,1) paces the stream against the refresh interval:
+	// the attacker hammers for DutyCycle×PeriodCycles, then idles through
+	// the rest of the period in non-memory instructions — the structure
+	// real refresh-synchronized attacks use to dodge TRR sampling windows
+	// around REF commands. 0 (the default) or ≥1 hammers continuously.
+	DutyCycle float64
+	// Phase in (0,1) shifts where within each period the burst falls (the
+	// first burst is shortened by Phase of a burst, moving every later
+	// burst boundary by the same amount). Only meaningful together with
+	// DutyCycle pacing: the shift is part of the periodic structure, so
+	// it survives the trace's cyclic replay instead of re-applying a
+	// one-time delay every pass.
+	Phase float64
+	// PeriodCycles is the pacing period in memory-clock cycles (default:
+	// the DDR4-2400 tREFI, 9363).
+	PeriodCycles int64
+
 	Seed uint64
 }
+
+// Burst pacing converts memory-clock cycles into trace structure through
+// two approximations of the Table 6 system: an idle memory cycle costs
+// the 4 GHz, 4-wide core idleInstsPerMemCycle gap instructions, and one
+// hammering record costs about one row cycle (tRC) at the controller.
+const (
+	idleInstsPerMemCycle = 13 // ceil(4000/1200 CPU cycles) × 4-wide issue
+	approxACTCycles      = 56 // ≈ tRC of DDR4-2400 in memory clocks
+	defaultPeriodCycles  = 9363
+)
 
 // Target anchors an attack at a victim row (for Scattered, the first of
 // the attacked banks).
@@ -104,7 +131,39 @@ func (s Spec) normalized() Spec {
 	if s.Records <= 0 {
 		s.Records = 2048
 	}
+	if s.PeriodCycles <= 0 {
+		s.PeriodCycles = defaultPeriodCycles
+	}
 	return s
+}
+
+// paceRecords applies the Phase/DutyCycle timing structure: every burst of
+// hammering records is followed by an idle stretch (gap instructions on
+// the record that opens the next burst) sized so the stream is active for
+// roughly DutyCycle of each period. Phase shortens the first burst,
+// shifting every later burst boundary by Phase of a burst — a periodic
+// rearrangement, so cyclic replay preserves it.
+func (s Spec) paceRecords(recs []trace.Record) {
+	if len(recs) == 0 || s.DutyCycle <= 0 || s.DutyCycle >= 1 {
+		return
+	}
+	burst := int(s.DutyCycle * float64(s.PeriodCycles) / approxACTCycles)
+	if burst < 1 {
+		burst = 1
+	}
+	idleGap := int((1 - s.DutyCycle) * float64(s.PeriodCycles) * idleInstsPerMemCycle)
+	first := burst
+	if s.Phase > 0 && s.Phase < 1 {
+		if shift := int(s.Phase * float64(burst)); shift > 0 {
+			first = burst - shift
+			if first < 1 {
+				first = 1
+			}
+		}
+	}
+	for i := first; i < len(recs); i += burst {
+		recs[i].Gap += idleGap
+	}
 }
 
 // Synthesize builds the attacker's access stream against the target as a
@@ -210,6 +269,7 @@ func (s Spec) Synthesize(geo dram.Geometry, t Target) (*trace.Trace, []RowRef, e
 		addr := mapper.AddressOf(dram.Address{Bank: ref.Bank, Row: ref.Row, Col: col})
 		tr.Records = append(tr.Records, trace.Record{Gap: s.Gap, Addr: addr, NoCache: true})
 	}
+	s.paceRecords(tr.Records)
 	return tr, refs, nil
 }
 

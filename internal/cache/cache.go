@@ -12,10 +12,14 @@ import (
 // Backend is the memory side of the cache (the memory controller).
 // EnqueueRead returns false when the read queue is full — the cache then
 // rejects the access and the core retries. Writebacks must always be
-// accepted (the controller keeps a write backlog).
+// accepted (the controller keeps a write backlog). Every request carries
+// the requester (source/thread) ID of the access that caused it, so the
+// controller can attribute queue pressure and activations per source:
+// misses carry the requester that allocated the MSHR, writebacks the
+// requester whose fill or flush evicted the dirty line.
 type Backend interface {
-	EnqueueRead(addr int64, onDone func()) bool
-	EnqueueWrite(addr int64)
+	EnqueueRead(requester int, addr int64, onDone func()) bool
+	EnqueueWrite(requester int, addr int64)
 }
 
 // Config sizes the cache.
@@ -48,6 +52,7 @@ type line struct {
 
 type mshr struct {
 	lineAddr int64
+	req      int // requester that allocated the miss (merges ride along)
 	waiters  []func()
 	dirty    bool // a write merged into this fill
 }
@@ -164,7 +169,9 @@ func (c *Cache) lookup(la int64) (set, way int) {
 }
 
 // install fills la into its set, evicting LRU (writing back if dirty).
-func (c *Cache) install(la int64, dirty bool) {
+// req attributes the eviction's writeback to the requester whose fill
+// displaced the victim line.
+func (c *Cache) install(req int, la int64, dirty bool) {
 	s := c.setOf(la)
 	order := c.lru[s]
 	victim := int(order[len(order)-1])
@@ -177,7 +184,7 @@ func (c *Cache) install(la int64, dirty bool) {
 	v := &c.sets[s][victim]
 	if v.valid && v.dirty {
 		c.Stats.Writebacks++
-		c.backend.EnqueueWrite(v.tag * int64(c.cfg.LineBytes))
+		c.backend.EnqueueWrite(req, v.tag*int64(c.cfg.LineBytes))
 	}
 	*v = line{tag: la, valid: true, dirty: dirty}
 	c.touch(s, victim)
@@ -232,16 +239,16 @@ func (c *Cache) access(core int, addr int64, write bool, onDone func()) bool {
 	if len(c.mshrs) >= c.cfg.MSHRs {
 		return false
 	}
-	m := &mshr{lineAddr: la, dirty: write}
+	m := &mshr{lineAddr: la, req: core, dirty: write}
 	if onDone != nil {
 		m.waiters = append(m.waiters, onDone)
 	}
 	// Register the MSHR before handing the fill callback to the backend:
 	// a backend that completes synchronously must find (and clear) it.
 	c.mshrs[la] = m
-	accepted := c.backend.EnqueueRead(la*int64(c.cfg.LineBytes), func() {
+	accepted := c.backend.EnqueueRead(core, la*int64(c.cfg.LineBytes), func() {
 		delete(c.mshrs, la)
-		c.install(la, m.dirty)
+		c.install(m.req, la, m.dirty)
 		for _, fn := range m.waiters {
 			fn()
 		}
@@ -254,7 +261,9 @@ func (c *Cache) access(core int, addr int64, write bool, onDone func()) bool {
 	return true
 }
 
-// Read requests addr for core; onDone fires when data is ready.
+// Read requests addr for the given requester (core/thread) ID; onDone
+// fires when data is ready. The requester ID flows through to the memory
+// controller for per-source attribution.
 func (c *Cache) Read(core int, addr int64, onDone func()) bool {
 	return c.access(core, addr, false, onDone)
 }
@@ -276,13 +285,13 @@ func (c *Cache) ReadUncached(core int, addr int64, onDone func()) bool {
 		}
 		return true
 	}
-	if !c.backend.EnqueueRead(la*int64(c.cfg.LineBytes), onDone) {
+	if !c.backend.EnqueueRead(core, la*int64(c.cfg.LineBytes), onDone) {
 		return false
 	}
 	if s, w := c.lookup(la); w >= 0 {
 		if c.sets[s][w].dirty {
 			c.Stats.Writebacks++
-			c.backend.EnqueueWrite(la * int64(c.cfg.LineBytes))
+			c.backend.EnqueueWrite(core, la*int64(c.cfg.LineBytes))
 		}
 		c.sets[s][w] = line{}
 	}

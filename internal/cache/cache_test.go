@@ -2,24 +2,31 @@ package cache
 
 import "testing"
 
-// fakeMem records backend traffic and completes reads on demand.
+// fakeMem records backend traffic (with requester attribution) and
+// completes reads on demand.
 type fakeMem struct {
-	reads    []int64
-	writes   []int64
-	pending  []func()
-	rejectRd bool
+	reads     []int64
+	writes    []int64
+	readReqs  []int
+	writeReqs []int
+	pending   []func()
+	rejectRd  bool
 }
 
-func (f *fakeMem) EnqueueRead(addr int64, onDone func()) bool {
+func (f *fakeMem) EnqueueRead(requester int, addr int64, onDone func()) bool {
 	if f.rejectRd {
 		return false
 	}
 	f.reads = append(f.reads, addr)
+	f.readReqs = append(f.readReqs, requester)
 	f.pending = append(f.pending, onDone)
 	return true
 }
 
-func (f *fakeMem) EnqueueWrite(addr int64) { f.writes = append(f.writes, addr) }
+func (f *fakeMem) EnqueueWrite(requester int, addr int64) {
+	f.writes = append(f.writes, addr)
+	f.writeReqs = append(f.writeReqs, requester)
+}
 
 func (f *fakeMem) completeAll() {
 	for _, fn := range f.pending {
@@ -185,6 +192,50 @@ func TestLRUKeepsHotLine(t *testing.T) {
 	c.Read(0, a, func() {}) // must still hit
 	if len(mem.reads) != reads {
 		t.Error("LRU evicted the recently used line")
+	}
+}
+
+func TestRequesterAttribution(t *testing.T) {
+	mem := &fakeMem{}
+	c := newCache(t, mem)
+
+	// Miss: the backend read carries the allocating requester.
+	if !c.Read(5, 0x40, func() {}) {
+		t.Fatal("read rejected")
+	}
+	if len(mem.readReqs) != 1 || mem.readReqs[0] != 5 {
+		t.Fatalf("miss requesters = %v, want [5]", mem.readReqs)
+	}
+	mem.completeAll()
+
+	// Dirty the line as requester 1, then evict it with fills from
+	// requester 2: the writeback is attributed to the evicting requester.
+	if !c.Write(1, 0x40) {
+		t.Fatal("write rejected")
+	}
+	c.Read(2, 0x40+64*64, func() {})
+	mem.completeAll()
+	c.Read(2, 0x40+2*64*64, func() {})
+	mem.completeAll()
+	if len(mem.writeReqs) != 1 || mem.writeReqs[0] != 2 {
+		t.Fatalf("writeback requesters = %v, want [2]", mem.writeReqs)
+	}
+
+	// Flush+load: the uncached read and its flush writeback both carry
+	// the flushing requester.
+	if !c.Write(1, 0x80) {
+		t.Fatal("write rejected")
+	}
+	mem.completeAll() // line now cached dirty
+	if !c.ReadUncached(4, 0x80, func() {}) {
+		t.Fatal("uncached read rejected")
+	}
+	last := len(mem.readReqs) - 1
+	if mem.readReqs[last] != 4 {
+		t.Errorf("uncached read requester = %d, want 4", mem.readReqs[last])
+	}
+	if got := mem.writeReqs[len(mem.writeReqs)-1]; got != 4 {
+		t.Errorf("flush writeback requester = %d, want 4", got)
 	}
 }
 

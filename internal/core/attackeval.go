@@ -7,12 +7,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/attack"
-	"repro/internal/dram"
 	"repro/internal/engine"
-	"repro/internal/faultmodel"
-	"repro/internal/mitigation"
-	"repro/internal/sim"
-	"repro/internal/trace"
 )
 
 // The attack evaluation is the experiment the paper doesn't contain:
@@ -23,12 +18,19 @@ import (
 // attack.Observer, reporting security outcomes (escaped flips, time to
 // first flip, achieved aggressor ACT rate) next to the familiar
 // performance metrics (benign slowdown under attack, bandwidth overhead).
+// It shares its baseline and per-cell machinery with RunParetoSweep (see
+// paretosweep.go); the difference is the reporting axis — per-pattern
+// points here, worst-case frontier aggregates there.
 
 // AttackOptions scales the attack evaluation.
 type AttackOptions struct {
 	Patterns   []attack.Kind
 	Mechanisms []MechanismID
 	HCSweep    []int
+
+	// Scheduler selects the controller's scheduling policy for every grid
+	// point (default FR-FCFS, the paper's baseline).
+	Scheduler SchedulerID
 
 	// BenignCores is the count of benign workload cores sharing the
 	// system with the single attacker core (paper's Table 6 system has 8
@@ -47,6 +49,14 @@ type AttackOptions struct {
 
 	// AttackRecords sizes one attacker trace pass (0 = pattern default).
 	AttackRecords int
+
+	// ECC evaluates LPDDR4-like chips with on-die ECC: escaped flips are
+	// post-correction counts, reported alongside the raw (pre-correction)
+	// counts.
+	ECC bool
+	// AttackSpec carries pattern pacing (Phase/DutyCycle/Gap) applied to
+	// every synthesized stream; Kind/Records/Seed are set per grid cell.
+	AttackSpec attack.Spec
 
 	Parallelism int
 	Seed        uint64
@@ -102,12 +112,16 @@ func (o AttackOptions) normalized() AttackOptions {
 // AttackPoint is one grid point's outcome.
 type AttackPoint struct {
 	Mechanism MechanismID
+	Scheduler SchedulerID
 	Pattern   attack.Kind
 	HCFirst   int
 	Viable    bool
 
-	// Security metrics.
+	// Security metrics. EscapedFlips is the post-correction count for
+	// on-die ECC chips; RawFlips the pre-correction count (equal without
+	// ECC).
 	EscapedFlips      int
+	RawFlips          int
 	TimeToFirstFlipMS float64 // -1 when no flip escaped
 	AggressorACTs     int64
 	AggACTsPerSec     float64
@@ -126,40 +140,7 @@ type AttackEval struct {
 	MemCycles int64
 	WallMS    float64 // simulated attack duration
 	Benign    string  // benign mix description
-}
-
-// attackSimConfig builds the simulated system for the evaluation.
-func attackSimConfig(o AttackOptions) sim.Config {
-	cfg := sim.Table6Config(0, 1)
-	if o.Rows > 0 {
-		cfg.Geo.Rows = o.Rows
-		cfg.T = dram.DDR4_2400(o.Rows)
-	}
-	cfg.WarmupInsts = 0
-	cfg.MeasureInsts = 1 << 40 // duration-terminated: MaxCPUCycles decides
-	cfg.MaxCPUCycles = o.MemCycles * int64(cfg.CPUFreqMHz) / int64(cfg.MemFreqMHz)
-	return cfg
-}
-
-// attackChip builds the victim chip for an HCfirst point: a DDR4-like
-// part spanning the simulated channel, blast radius 1, no on-die ECC, so
-// escaped flips are directly attributable.
-func attackChip(cfg sim.Config, hc int, seed uint64) (*faultmodel.Chip, error) {
-	chip, err := faultmodel.NewChip(faultmodel.Config{
-		Name:         fmt.Sprintf("attacked-hc%d", hc),
-		Banks:        cfg.Geo.Banks(),
-		Rows:         cfg.Geo.Rows,
-		RowBits:      1024,
-		HCFirst:      float64(hc),
-		Rate150k:     5e-5,
-		WorstPattern: faultmodel.RowStripe0,
-		Seed:         seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	chip.WriteAll(faultmodel.RowStripe0)
-	return chip, nil
+	ECC       bool
 }
 
 // RunAttackEval evaluates every (mechanism, pattern, HCfirst) grid point.
@@ -168,130 +149,49 @@ func attackChip(cfg sim.Config, hc int, seed uint64) (*faultmodel.Chip, error) {
 // engine, so results are bit-identical for any Parallelism.
 func RunAttackEval(o AttackOptions) (*AttackEval, error) {
 	o = o.normalized()
-	cfg := attackSimConfig(o)
-	benign := trace.Mixes(1, o.BenignCores, o.TraceRecords, o.Seed)[0]
-	benign.Name = "benign"
-
-	base, err := sim.Run(cfg, benign)
+	cfg := attackSimCfg(o.MemCycles, o.Rows)
+	benign, baseIPC, base, err := benignBaseline(cfg, o.BenignCores, o.TraceRecords, o.Seed)
 	if err != nil {
-		return nil, fmt.Errorf("attack eval baseline: %w", err)
-	}
-	baseIPC := base.IPC
-	for i, v := range baseIPC {
-		if v <= 0 {
-			return nil, fmt.Errorf("attack eval baseline: core %d IPC is zero", i)
-		}
+		return nil, fmt.Errorf("attack eval %w", err)
 	}
 
-	type job struct {
-		mech    MechanismID
-		pattern attack.Kind
-		hc      int
-		// streamSeed derives from (pattern, HCfirst) only — never the
-		// mechanism — so every mechanism at a grid point faces the *same*
-		// chip (same weakest cell, same thresholds) and the same attacker
-		// stream. Anything else would confound cross-mechanism comparison.
-		streamSeed uint64
-	}
-	var jobs []job
+	var cells []sweepCell
 	for _, id := range o.Mechanisms {
 		for pi, p := range o.Patterns {
 			for hi, hc := range o.HCSweep {
-				jobs = append(jobs, job{
-					mech: id, pattern: p, hc: hc,
+				cells = append(cells, sweepCell{
+					Mech: id, Sched: o.Scheduler, Pattern: p, HC: hc,
 					streamSeed: engine.DeriveSeed(o.Seed^0x57eea, uint64(pi*len(o.HCSweep)+hi)),
 				})
 			}
 		}
 	}
+	co := cellOptions{
+		MemCycles:     o.MemCycles,
+		AttackRecords: o.AttackRecords,
+		ECC:           o.ECC,
+		Spec:          o.AttackSpec,
+	}
 	eo := engine.Options{Workers: o.Parallelism, Seed: o.Seed}
-	points, err := engine.Map(eo, jobs, func(ctx engine.TaskContext, jb job) (AttackPoint, error) {
-		pt, err := runAttackPoint(cfg, o, jb.mech, jb.pattern, jb.hc, benign, baseIPC, jb.streamSeed, ctx.Seed)
+	points, err := engine.Map(eo, cells, func(ctx engine.TaskContext, cell sweepCell) (AttackPoint, error) {
+		pt, err := runSweepCell(cfg, co, cell, benign, baseIPC, ctx.Seed)
 		if err != nil {
-			return AttackPoint{}, fmt.Errorf("%s/%s hc=%d: %w", jb.mech, jb.pattern, jb.hc, err)
+			return AttackPoint{}, fmt.Errorf("%s/%s hc=%d: %w", cell.Mech, cell.Pattern, cell.HC, err)
 		}
 		return *pt, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	// engine.Map returns results in job order, so Points already follow
+	// engine.Map returns results in cell order, so Points already follow
 	// the caller's mechanism × pattern × HCfirst nesting.
 	return &AttackEval{
 		Points:    points,
 		MemCycles: o.MemCycles,
 		WallMS:    float64(o.MemCycles) * float64(cfg.T.TCKPS) * 1e-9,
 		Benign:    fmt.Sprintf("%d benign cores, MPKI %.0f", o.BenignCores, base.MPKI),
+		ECC:       o.ECC,
 	}, nil
-}
-
-// runAttackPoint runs one mixed attacker+benign simulation. streamSeed
-// fixes the chip and attacker stream per (pattern, HCfirst) grid point;
-// mechSeed is the per-task seed for mechanism-internal randomness.
-func runAttackPoint(cfg sim.Config, o AttackOptions, id MechanismID, kind attack.Kind,
-	hc int, benign trace.Mix, baseIPC []float64, streamSeed, mechSeed uint64,
-) (*AttackPoint, error) {
-	chip, err := attackChip(cfg, hc, streamSeed)
-	if err != nil {
-		return nil, err
-	}
-	mech, err := buildMechanism(id, cfg, hc, mechSeed^0x3eca)
-	if err != nil {
-		return nil, err
-	}
-
-	// The attacker has profiled the chip (the strong threat model of
-	// Section 6): aim at the weakest cell's row.
-	weak := chip.WeakestCell()
-	spec := attack.Spec{Kind: kind, Records: o.AttackRecords, Seed: streamSeed ^ 0xdec0}
-	attackTrace, aggressors, err := spec.Synthesize(cfg.Geo, attack.Target{Bank: weak.Bank, Row: weak.Row})
-	if err != nil {
-		return nil, err
-	}
-
-	obs := attack.NewObserver(chip)
-	obs.WatchAggressors(aggressors)
-
-	mix := trace.Mix{Name: "attack-" + string(kind), Traces: []*trace.Trace{attackTrace}}
-	mix.Traces = append(mix.Traces, benign.Traces...)
-
-	runCfg := cfg
-	runCfg.Mechanism = mech
-	runCfg.Observer = obs
-	res, err := sim.Run(runCfg, mix)
-	if err != nil {
-		return nil, err
-	}
-
-	pt := &AttackPoint{
-		Mechanism:           id,
-		Pattern:             kind,
-		HCFirst:             hc,
-		Viable:              true,
-		EscapedFlips:        obs.EscapedFlips(),
-		AggressorACTs:       obs.AggressorACTs(),
-		OverheadPct:         res.BandwidthOverheadPct,
-		ThrottleStallCycles: res.Ctrl.ThrottleStallCycles,
-	}
-	if v, ok := mech.(mitigation.Viability); ok {
-		pt.Viable = v.Viable()
-	}
-	pt.TimeToFirstFlipMS = -1
-	if c := obs.FirstFlipCycle(); c >= 0 {
-		pt.TimeToFirstFlipMS = float64(c) * float64(cfg.T.TCKPS) * 1e-9
-	}
-	if secs := float64(o.MemCycles) * float64(cfg.T.TCKPS) * 1e-12; secs > 0 {
-		pt.AggACTsPerSec = float64(obs.AggressorACTs()) / secs
-	}
-	// Benign performance under attack: weighted speedup of the benign
-	// cores (positions 1..N in the mix) against their unattacked,
-	// unmitigated baseline.
-	ws := 0.0
-	for i, b := range baseIPC {
-		ws += res.IPC[i+1] / b
-	}
-	pt.BenignPerfPct = 100 * ws / float64(len(baseIPC))
-	return pt, nil
 }
 
 // PointsFor filters the grid for one mechanism, in report order.
@@ -321,16 +221,26 @@ func (e *AttackEval) Format() string {
 	}
 
 	sb.WriteString(table(func(w *tabwriter.Writer) {
-		fmt.Fprintln(w, "mechanism\tpattern\tHCfirst\tflips\tt-first-flip\taggACT/s\tbenign perf%\toverhead%\tviable")
+		header := "mechanism\tpattern\tHCfirst\tflips\tt-first-flip\taggACT/s\tbenign perf%\toverhead%\tviable"
+		if e.ECC {
+			header = "mechanism\tpattern\tHCfirst\tflips\traw\tt-first-flip\taggACT/s\tbenign perf%\toverhead%\tviable"
+		}
+		fmt.Fprintln(w, header)
 		for _, id := range order {
 			for _, p := range e.PointsFor(id) {
 				ttff := "-"
 				if p.TimeToFirstFlipMS >= 0 {
 					ttff = fmt.Sprintf("%.3fms", p.TimeToFirstFlipMS)
 				}
-				fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%s\t%.2fM\t%.1f\t%.3f\t%v\n",
-					p.Mechanism, p.Pattern, p.HCFirst, p.EscapedFlips, ttff,
-					p.AggACTsPerSec/1e6, p.BenignPerfPct, p.OverheadPct, p.Viable)
+				if e.ECC {
+					fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%s\t%.2fM\t%.1f\t%.3f\t%v\n",
+						p.Mechanism, p.Pattern, p.HCFirst, p.EscapedFlips, p.RawFlips, ttff,
+						p.AggACTsPerSec/1e6, p.BenignPerfPct, p.OverheadPct, p.Viable)
+				} else {
+					fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%s\t%.2fM\t%.1f\t%.3f\t%v\n",
+						p.Mechanism, p.Pattern, p.HCFirst, p.EscapedFlips, ttff,
+						p.AggACTsPerSec/1e6, p.BenignPerfPct, p.OverheadPct, p.Viable)
+				}
 			}
 		}
 	}))

@@ -25,8 +25,15 @@ const (
 	MechIdeal            MechanismID = "Ideal"
 	// MechBlockHammer is the post-paper throttling contender evaluated by
 	// the attack subsystem (RunAttackEval); it is not part of Figure 10's
-	// paper-faithful mechanism list but can be requested explicitly.
+	// paper-faithful mechanism list but can be requested explicitly. Its
+	// RowBlocker-Req queue admission is requester-aware (per-thread
+	// RowHammer likelihood index).
 	MechBlockHammer MechanismID = "BlockHammer"
+	// MechBlockHammerBlanket is BlockHammer with the legacy requester-
+	// blind admission policy (reject any blacklisted-row read once the
+	// queue is half full) — the baseline the per-thread policy is
+	// measured against.
+	MechBlockHammerBlanket MechanismID = "BlockHammer-blanket"
 )
 
 // AllMechanisms lists the Figure 10 series in plotting order.
@@ -45,6 +52,8 @@ func buildMechanism(id MechanismID, cfg sim.Config, hcFirst int, seed uint64) (m
 		return mitigation.NewNone(), nil
 	case MechBlockHammer:
 		return mitigation.NewBlockHammer(p)
+	case MechBlockHammerBlanket:
+		return mitigation.NewBlockHammerBlanket(p)
 	case MechIncreasedRefresh:
 		return mitigation.NewIncreasedRefresh(p)
 	case MechPARA:
@@ -184,36 +193,14 @@ func RunFigure10(o MitigationOptions) (*Figure10, error) {
 	mixes := trace.Mixes(o.Mixes, o.Cores, o.TraceRecords, o.Seed)
 	eo := engine.Options{Workers: o.Parallelism, Seed: o.Seed}
 
-	// Phase 1: per-mix baselines (parallel over mixes).
-	type mixResult struct {
-		alone []float64
-		base  mixBaseline
-	}
-	mixResults, err := engine.Map(eo, mixes, func(_ engine.TaskContext, mix trace.Mix) (mixResult, error) {
-		alone, err := sim.RunAlone(cfg, mix)
-		if err != nil {
-			return mixResult{}, err
-		}
-		res, err := sim.Run(cfg, mix)
-		if err != nil {
-			return mixResult{}, err
-		}
-		ws, err := sim.WeightedSpeedup(res.IPC, alone)
-		if err != nil {
-			return mixResult{}, err
-		}
-		return mixResult{alone: alone, base: mixBaseline{ws: ws, mpki: res.MPKI}}, nil
-	})
+	// Phase 1: per-mix baselines (parallel over mixes, shared sweep core).
+	baselines, alones, err := mixBaselines(eo, cfg, mixes)
 	if err != nil {
 		return nil, err
 	}
-	baselines := make([]mixBaseline, len(mixes))
-	alones := make([][]float64, len(mixes))
 	fig := &Figure10{Mixes: len(mixes)}
-	for i, r := range mixResults {
-		baselines[i] = r.base
-		alones[i] = r.alone
-		fig.MixMPKIs = append(fig.MixMPKIs, r.base.mpki)
+	for _, b := range baselines {
+		fig.MixMPKIs = append(fig.MixMPKIs, b.mpki)
 	}
 
 	// Phase 2: (mechanism, HCfirst) sweep.

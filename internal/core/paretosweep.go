@@ -1,0 +1,550 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/attack"
+	"repro/internal/dram"
+	"repro/internal/engine"
+	"repro/internal/faultmodel"
+	"repro/internal/mitigation"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// This file is the shared sweep core behind the system-level evaluation
+// runners. RunFigure10 (benign overhead), RunAttackEval (security under
+// attack) and RunParetoSweep (the combined frontier) are all two-phase
+// experiments — a baseline phase followed by a grid fanned out over the
+// deterministic engine — and they share the machinery here: scheduler
+// selection, the benign baseline, per-mix baselines, and the single-cell
+// attack runner every grid point funnels through.
+
+// SchedulerID names a memory-controller scheduling policy of the sweep's
+// scheduler axis.
+type SchedulerID string
+
+const (
+	// SchedFRFCFS is the paper's baseline first-ready FCFS scheduler.
+	SchedFRFCFS SchedulerID = "FR-FCFS"
+	// SchedBLISS is the fairness-aware variant: per-requester service
+	// streak counters blacklist a requester that monopolizes consecutive
+	// read service, demoting (never blocking) its requests until the next
+	// clearing interval.
+	SchedBLISS SchedulerID = "BLISS"
+)
+
+// Schedulers lists the scheduler axis in evaluation order.
+func Schedulers() []SchedulerID { return []SchedulerID{SchedFRFCFS, SchedBLISS} }
+
+// applyScheduler configures a simulation for the scheduling policy.
+func applyScheduler(cfg *sim.Config, id SchedulerID) error {
+	switch id {
+	case "", SchedFRFCFS:
+		return nil
+	case SchedBLISS:
+		cfg.Ctrl.BLISS = true
+		return nil
+	default:
+		return fmt.Errorf("core: unknown scheduler %q", id)
+	}
+}
+
+// attackSimCfg builds the simulated system for a duration-terminated
+// adversarial run. rows 0 keeps the Table 6 geometry.
+func attackSimCfg(memCycles int64, rows int) sim.Config {
+	cfg := sim.Table6Config(0, 1)
+	if rows > 0 {
+		cfg.Geo.Rows = rows
+		cfg.T = dram.DDR4_2400(rows)
+	}
+	cfg.WarmupInsts = 0
+	cfg.MeasureInsts = 1 << 40 // duration-terminated: MaxCPUCycles decides
+	cfg.MaxCPUCycles = memCycles * int64(cfg.CPUFreqMHz) / int64(cfg.MemFreqMHz)
+	return cfg
+}
+
+// attackChip builds the victim chip for an HCfirst point: a DDR4-like
+// part spanning the simulated channel, blast radius 1. Without on-die ECC
+// escaped flips are directly attributable; with it (the LPDDR4-like
+// configuration) the observer reports post-correction escapes alongside
+// raw flips.
+func attackChip(cfg sim.Config, hc int, seed uint64, ecc bool) (*faultmodel.Chip, error) {
+	chip, err := faultmodel.NewChip(faultmodel.Config{
+		Name:         fmt.Sprintf("attacked-hc%d", hc),
+		Banks:        cfg.Geo.Banks(),
+		Rows:         cfg.Geo.Rows,
+		RowBits:      1024,
+		HCFirst:      float64(hc),
+		Rate150k:     5e-5,
+		WorstPattern: faultmodel.RowStripe0,
+		OnDieECC:     ecc,
+		Seed:         seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	chip.WriteAll(faultmodel.RowStripe0)
+	return chip, nil
+}
+
+// benignBaseline runs the benign cores alone — no attacker, no
+// mitigation, FR-FCFS — as the shared performance reference of the
+// adversarial sweeps.
+func benignBaseline(cfg sim.Config, cores, records int, seed uint64) (trace.Mix, []float64, *sim.Result, error) {
+	benign := trace.Mixes(1, cores, records, seed)[0]
+	benign.Name = "benign"
+	base, err := sim.Run(cfg, benign)
+	if err != nil {
+		return trace.Mix{}, nil, nil, fmt.Errorf("benign baseline: %w", err)
+	}
+	for i, v := range base.IPC {
+		if v <= 0 {
+			return trace.Mix{}, nil, nil, fmt.Errorf("benign baseline: core %d IPC is zero", i)
+		}
+	}
+	return benign, base.IPC, base, nil
+}
+
+// mixBaselines is phase 1 of the benign sweeps: every mix's single-core
+// alone IPCs and no-mitigation weighted speedup, fanned out over the
+// engine.
+func mixBaselines(eo engine.Options, cfg sim.Config, mixes []trace.Mix) ([]mixBaseline, [][]float64, error) {
+	type mixResult struct {
+		alone []float64
+		base  mixBaseline
+	}
+	mixResults, err := engine.Map(eo, mixes, func(_ engine.TaskContext, mix trace.Mix) (mixResult, error) {
+		alone, err := sim.RunAlone(cfg, mix)
+		if err != nil {
+			return mixResult{}, err
+		}
+		res, err := sim.Run(cfg, mix)
+		if err != nil {
+			return mixResult{}, err
+		}
+		ws, err := sim.WeightedSpeedup(res.IPC, alone)
+		if err != nil {
+			return mixResult{}, err
+		}
+		return mixResult{alone: alone, base: mixBaseline{ws: ws, mpki: res.MPKI}}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	baselines := make([]mixBaseline, len(mixes))
+	alones := make([][]float64, len(mixes))
+	for i, r := range mixResults {
+		baselines[i] = r.base
+		alones[i] = r.alone
+	}
+	return baselines, alones, nil
+}
+
+// sweepCell is one grid point of an adversarial sweep: a mechanism and
+// scheduler facing one attack pattern at one HCfirst. An empty Pattern
+// marks a benign-only cell (the mechanism's overhead with no attacker in
+// the system). streamSeed derives from (pattern, HCfirst) only — never
+// the mechanism or scheduler — so every contender at a grid point faces
+// the same chip (same weakest cell, same thresholds) and the same
+// attacker stream; anything else would confound the comparison.
+type sweepCell struct {
+	Mech       MechanismID
+	Sched      SchedulerID
+	Pattern    attack.Kind
+	HC         int
+	streamSeed uint64
+}
+
+// cellOptions carries the system-shape knobs runSweepCell needs; both
+// AttackOptions and ParetoOptions reduce to it.
+type cellOptions struct {
+	MemCycles     int64
+	AttackRecords int
+	ECC           bool
+	Spec          attack.Spec // Kind/Records/Seed overridden per cell
+}
+
+// runSweepCell runs one grid point: a mixed attacker+benign simulation
+// (or a benign-only one for an empty Pattern) under the cell's mechanism
+// and scheduler, reporting security and performance together. mechSeed is
+// the per-task seed for mechanism-internal randomness.
+func runSweepCell(cfg sim.Config, o cellOptions, cell sweepCell,
+	benign trace.Mix, baseIPC []float64, mechSeed uint64,
+) (*AttackPoint, error) {
+	if err := applyScheduler(&cfg, cell.Sched); err != nil {
+		return nil, err
+	}
+	mech, err := buildMechanism(cell.Mech, cfg, cell.HC, mechSeed^0x3eca)
+	if err != nil {
+		return nil, err
+	}
+
+	mix := trace.Mix{Name: "benign-only"}
+	var obs *attack.Observer
+	if cell.Pattern != "" {
+		chip, err := attackChip(cfg, cell.HC, cell.streamSeed, o.ECC)
+		if err != nil {
+			return nil, err
+		}
+		// The attacker has profiled the chip (the strong threat model of
+		// Section 6): aim at the weakest cell's row.
+		weak := chip.WeakestCell()
+		spec := o.Spec
+		spec.Kind = cell.Pattern
+		spec.Records = o.AttackRecords
+		spec.Seed = cell.streamSeed ^ 0xdec0
+		attackTrace, aggressors, err := spec.Synthesize(cfg.Geo, attack.Target{Bank: weak.Bank, Row: weak.Row})
+		if err != nil {
+			return nil, err
+		}
+		obs = attack.NewObserver(chip)
+		obs.WatchAggressors(aggressors)
+		mix.Name = "attack-" + string(cell.Pattern)
+		mix.Traces = append(mix.Traces, attackTrace)
+	}
+	mix.Traces = append(mix.Traces, benign.Traces...)
+
+	runCfg := cfg
+	runCfg.Mechanism = mech
+	if obs != nil {
+		runCfg.Observer = obs
+	}
+	res, err := sim.Run(runCfg, mix)
+	if err != nil {
+		return nil, err
+	}
+
+	pt := &AttackPoint{
+		Mechanism:           cell.Mech,
+		Scheduler:           cell.Sched,
+		Pattern:             cell.Pattern,
+		HCFirst:             cell.HC,
+		Viable:              true,
+		OverheadPct:         res.BandwidthOverheadPct,
+		ThrottleStallCycles: res.Ctrl.ThrottleStallCycles,
+		TimeToFirstFlipMS:   -1,
+	}
+	if v, ok := mech.(mitigation.Viability); ok {
+		pt.Viable = v.Viable()
+	}
+	if obs != nil {
+		pt.EscapedFlips = obs.EscapedFlips()
+		pt.RawFlips = obs.RawFlips()
+		pt.AggressorACTs = obs.AggressorACTs()
+		if c := obs.FirstFlipCycle(); c >= 0 {
+			pt.TimeToFirstFlipMS = float64(c) * float64(cfg.T.TCKPS) * 1e-9
+		}
+		if secs := float64(o.MemCycles) * float64(cfg.T.TCKPS) * 1e-12; secs > 0 {
+			pt.AggACTsPerSec = float64(obs.AggressorACTs()) / secs
+		}
+	}
+	// Benign performance: weighted speedup of the benign cores against
+	// their unattacked, unmitigated baseline. In an attack cell the benign
+	// cores sit at positions 1..N behind the attacker; in a benign-only
+	// cell they are the whole mix.
+	off := 0
+	if cell.Pattern != "" {
+		off = 1
+	}
+	ws := 0.0
+	for i, b := range baseIPC {
+		ws += res.IPC[i+off] / b
+	}
+	pt.BenignPerfPct = 100 * ws / float64(len(baseIPC))
+	return pt, nil
+}
+
+// --- Pareto sweep --------------------------------------------------------
+
+// ParetoOptions scales the combined security/overhead sweep: the
+// (mechanism × scheduler × HCfirst) grid, each point evaluated under
+// every attack pattern plus one attacker-free run.
+type ParetoOptions struct {
+	Mechanisms []MechanismID
+	Schedulers []SchedulerID
+	Patterns   []attack.Kind
+	HCSweep    []int
+
+	// BenignCores / TraceRecords size the benign side of each mix;
+	// MemCycles the attack window; Rows the per-bank geometry (0 =
+	// Table 6); AttackRecords one attacker trace pass (0 = default).
+	BenignCores   int
+	TraceRecords  int
+	MemCycles     int64
+	Rows          int
+	AttackRecords int
+
+	// ECC evaluates LPDDR4-like chips with on-die ECC: escaped flips are
+	// post-correction, reported alongside the raw count.
+	ECC bool
+	// AttackSpec carries pattern pacing (Phase/DutyCycle/Gap) applied to
+	// every synthesized stream; Kind/Records/Seed are set per grid cell.
+	AttackSpec attack.Spec
+
+	Parallelism int
+	Seed        uint64
+}
+
+// DefaultParetoOptions is the CLI-scale configuration: the unprotected
+// baseline, the paper's most scalable refresh-based mechanism, both
+// BlockHammer admission policies and the oracle bound, under both
+// schedulers, against the two highest-pressure patterns.
+func DefaultParetoOptions() ParetoOptions {
+	return ParetoOptions{
+		Mechanisms: []MechanismID{MechNone, MechPARA, MechBlockHammerBlanket, MechBlockHammer, MechIdeal},
+		Schedulers: Schedulers(),
+		Patterns:   []attack.Kind{attack.DoubleSided, attack.Decoy},
+		HCSweep:    []int{4_800, 512},
+
+		BenignCores:  3,
+		TraceRecords: 2_000,
+		MemCycles:    3_000_000,
+		Seed:         1,
+	}
+}
+
+func (o ParetoOptions) normalized() ParetoOptions {
+	d := DefaultParetoOptions()
+	if len(o.Mechanisms) == 0 {
+		o.Mechanisms = d.Mechanisms
+	}
+	if len(o.Schedulers) == 0 {
+		o.Schedulers = d.Schedulers
+	}
+	if len(o.Patterns) == 0 {
+		o.Patterns = d.Patterns
+	}
+	if len(o.HCSweep) == 0 {
+		o.HCSweep = d.HCSweep
+	}
+	if o.BenignCores <= 0 {
+		o.BenignCores = d.BenignCores
+	}
+	if o.TraceRecords <= 0 {
+		o.TraceRecords = d.TraceRecords
+	}
+	if o.MemCycles <= 0 {
+		o.MemCycles = d.MemCycles
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	return o
+}
+
+// ParetoPoint is one (mechanism, scheduler, HCfirst) frontier candidate,
+// aggregated across attack patterns.
+type ParetoPoint struct {
+	Mechanism MechanismID
+	Scheduler SchedulerID
+	HCFirst   int
+	Viable    bool
+
+	// Security axis: worst case across the evaluated attack patterns.
+	EscapedFlips int
+	RawFlips     int
+
+	// Overhead axis: BenignPerfPct is the worst-case benign throughput
+	// under attack (% of the unattacked, unmitigated baseline);
+	// NoAttackPerfPct the same metric with no attacker in the system (the
+	// mechanism+scheduler's pure benign cost); OverheadPct the worst-case
+	// Figure 10a DRAM bandwidth overhead under attack.
+	BenignPerfPct   float64
+	NoAttackPerfPct float64
+	OverheadPct     float64
+
+	// OnFrontier marks points no other point at the same HCfirst
+	// dominates (fewer-or-equal escaped flips AND greater-or-equal benign
+	// throughput, with at least one strict).
+	OnFrontier bool
+}
+
+// ParetoSweep is the full frontier result.
+type ParetoSweep struct {
+	Points    []ParetoPoint
+	Patterns  []attack.Kind
+	MemCycles int64
+	WallMS    float64
+	Benign    string
+	ECC       bool
+}
+
+// RunParetoSweep evaluates the (mechanism × scheduler × HCfirst) grid:
+// every point runs one mixed attacker+benign simulation per attack
+// pattern plus one attacker-free run, all fanned out over the experiment
+// engine (results are bit-identical for any Parallelism), and the
+// worst-case aggregates form escaped-flips-vs-benign-overhead frontier
+// points per HCfirst.
+func RunParetoSweep(o ParetoOptions) (*ParetoSweep, error) {
+	o = o.normalized()
+	cfg := attackSimCfg(o.MemCycles, o.Rows)
+	benign, baseIPC, base, err := benignBaseline(cfg, o.BenignCores, o.TraceRecords, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Flatten the grid: per (mechanism, scheduler, HCfirst), every attack
+	// pattern plus the benign-only cell, in deterministic order.
+	perPoint := len(o.Patterns) + 1
+	var cells []sweepCell
+	for _, mech := range o.Mechanisms {
+		for _, sched := range o.Schedulers {
+			for hi, hc := range o.HCSweep {
+				for pi, p := range o.Patterns {
+					cells = append(cells, sweepCell{
+						Mech: mech, Sched: sched, Pattern: p, HC: hc,
+						streamSeed: engine.DeriveSeed(o.Seed^0x57eea, uint64(pi*len(o.HCSweep)+hi)),
+					})
+				}
+				cells = append(cells, sweepCell{Mech: mech, Sched: sched, HC: hc})
+			}
+		}
+	}
+	co := cellOptions{
+		MemCycles:     o.MemCycles,
+		AttackRecords: o.AttackRecords,
+		ECC:           o.ECC,
+		Spec:          o.AttackSpec,
+	}
+	eo := engine.Options{Workers: o.Parallelism, Seed: o.Seed}
+	results, err := engine.Map(eo, cells, func(ctx engine.TaskContext, cell sweepCell) (AttackPoint, error) {
+		pt, err := runSweepCell(cfg, co, cell, benign, baseIPC, ctx.Seed)
+		if err != nil {
+			return AttackPoint{}, fmt.Errorf("%s/%s/%s hc=%d: %w", cell.Mech, cell.Sched, cell.Pattern, cell.HC, err)
+		}
+		return *pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate each point's pattern block (worst case) + benign-only run.
+	sweep := &ParetoSweep{
+		Patterns:  o.Patterns,
+		MemCycles: o.MemCycles,
+		WallMS:    float64(o.MemCycles) * float64(cfg.T.TCKPS) * 1e-9,
+		Benign:    fmt.Sprintf("%d benign cores, MPKI %.0f", o.BenignCores, base.MPKI),
+		ECC:       o.ECC,
+	}
+	for start := 0; start < len(results); start += perPoint {
+		block := results[start : start+perPoint]
+		pt := ParetoPoint{
+			Mechanism: block[0].Mechanism,
+			Scheduler: block[0].Scheduler,
+			HCFirst:   block[0].HCFirst,
+			Viable:    block[0].Viable,
+		}
+		pt.BenignPerfPct = block[0].BenignPerfPct
+		for _, r := range block[:len(block)-1] { // attack cells
+			if r.EscapedFlips > pt.EscapedFlips {
+				pt.EscapedFlips = r.EscapedFlips
+			}
+			if r.RawFlips > pt.RawFlips {
+				pt.RawFlips = r.RawFlips
+			}
+			if r.BenignPerfPct < pt.BenignPerfPct {
+				pt.BenignPerfPct = r.BenignPerfPct
+			}
+			if r.OverheadPct > pt.OverheadPct {
+				pt.OverheadPct = r.OverheadPct
+			}
+		}
+		pt.NoAttackPerfPct = block[len(block)-1].BenignPerfPct
+		sweep.Points = append(sweep.Points, pt)
+	}
+	markFrontier(sweep.Points)
+	return sweep, nil
+}
+
+// markFrontier sets OnFrontier per HCfirst group: a point is on the
+// frontier unless some other point at the same HCfirst has no more
+// escaped flips and no less worst-case benign throughput, with at least
+// one strict improvement.
+func markFrontier(points []ParetoPoint) {
+	for i := range points {
+		points[i].OnFrontier = true
+		for j := range points {
+			if i == j || points[i].HCFirst != points[j].HCFirst {
+				continue
+			}
+			noWorse := points[j].EscapedFlips <= points[i].EscapedFlips &&
+				points[j].BenignPerfPct >= points[i].BenignPerfPct
+			strictly := points[j].EscapedFlips < points[i].EscapedFlips ||
+				points[j].BenignPerfPct > points[i].BenignPerfPct
+			if noWorse && strictly {
+				points[i].OnFrontier = false
+				break
+			}
+		}
+	}
+}
+
+// PointFor returns the aggregate for one (mechanism, scheduler, HCfirst)
+// grid point, if present.
+func (s *ParetoSweep) PointFor(mech MechanismID, sched SchedulerID, hc int) (ParetoPoint, bool) {
+	for _, p := range s.Points {
+		if p.Mechanism == mech && p.Scheduler == sched && p.HCFirst == hc {
+			return p, true
+		}
+	}
+	return ParetoPoint{}, false
+}
+
+// Frontier returns the non-dominated points for one HCfirst, in grid
+// order.
+func (s *ParetoSweep) Frontier(hc int) []ParetoPoint {
+	var out []ParetoPoint
+	for _, p := range s.Points {
+		if p.HCFirst == hc && p.OnFrontier {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Format renders the frontier tables, one HCfirst group per table.
+func (s *ParetoSweep) Format() string {
+	var sb strings.Builder
+	pats := make([]string, len(s.Patterns))
+	for i, p := range s.Patterns {
+		pats[i] = string(p)
+	}
+	fmt.Fprintf(&sb, "Pareto sweep: worst-case security vs benign overhead per (mechanism × scheduler × HCfirst)\n")
+	fmt.Fprintf(&sb, "(%.2f ms window, patterns %s, %s", s.WallMS, strings.Join(pats, "+"), s.Benign)
+	if s.ECC {
+		sb.WriteString(", on-die ECC")
+	}
+	sb.WriteString(")\n")
+
+	var hcs []int
+	seen := map[int]bool{}
+	for _, p := range s.Points {
+		if !seen[p.HCFirst] {
+			seen[p.HCFirst] = true
+			hcs = append(hcs, p.HCFirst)
+		}
+	}
+	for _, hc := range hcs {
+		fmt.Fprintf(&sb, "\nHCfirst = %d\n", hc)
+		sb.WriteString(table(func(w *tabwriter.Writer) {
+			fmt.Fprintln(w, "mechanism\tscheduler\tflips\traw\tbenign-perf%\tno-attack%\tbw-overhead%\tviable\tfrontier")
+			for _, p := range s.Points {
+				if p.HCFirst != hc {
+					continue
+				}
+				front := ""
+				if p.OnFrontier {
+					front = "*"
+				}
+				fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%.1f\t%.1f\t%.3f\t%v\t%s\n",
+					p.Mechanism, p.Scheduler, p.EscapedFlips, p.RawFlips,
+					p.BenignPerfPct, p.NoAttackPerfPct, p.OverheadPct, p.Viable, front)
+			}
+		}))
+	}
+	sb.WriteString("\nfrontier (*): no same-HCfirst point has fewer escaped flips and higher worst-case benign throughput.\n")
+	return sb.String()
+}

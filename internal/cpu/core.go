@@ -129,9 +129,15 @@ func (c *Core) Tick() {
 			issued++
 			continue
 		}
-		// Memory instruction.
+		// Memory instruction. The access carries a requester ID down the
+		// memory path: the record's explicit source when the trace declares
+		// one, otherwise this core's ID.
+		req := c.ID
+		if c.rec.Requester != 0 {
+			req = c.rec.Requester
+		}
 		if c.rec.Write {
-			if !c.llc.Write(c.ID, c.rec.Addr) {
+			if !c.llc.Write(req, c.rec.Addr) {
 				break // back-pressure: retry next cycle
 			}
 			c.done[c.slot(c.seqHead+int64(c.inFlite))] = true
@@ -144,7 +150,7 @@ func (c *Core) Tick() {
 			if c.rec.NoCache {
 				read = c.llc.ReadUncached // flush+load: always reaches DRAM
 			}
-			if !read(c.ID, c.rec.Addr, func() { c.done[s] = true }) {
+			if !read(req, c.rec.Addr, func() { c.done[s] = true }) {
 				break
 			}
 			c.inFlite++

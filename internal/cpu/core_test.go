@@ -9,14 +9,18 @@ import (
 
 // instantMem completes reads synchronously on the next Tick via the
 // cache's own scheduling: it fires callbacks immediately.
-type instantMem struct{ reads int }
+type instantMem struct {
+	reads int
+	reqs  []int
+}
 
-func (m *instantMem) EnqueueRead(addr int64, onDone func()) bool {
+func (m *instantMem) EnqueueRead(requester int, addr int64, onDone func()) bool {
 	m.reads++
+	m.reqs = append(m.reqs, requester)
 	onDone()
 	return true
 }
-func (m *instantMem) EnqueueWrite(addr int64) {}
+func (m *instantMem) EnqueueWrite(requester int, addr int64) {}
 
 func newLLC(t *testing.T, mem cache.Backend) *cache.Cache {
 	t.Helper()
@@ -128,6 +132,34 @@ func TestResetStatsKeepsPipeline(t *testing.T) {
 	}
 	if c.Retired == 0 {
 		t.Error("core stopped after stats reset")
+	}
+}
+
+func TestRequesterPropagation(t *testing.T) {
+	mem := &instantMem{}
+	llc := newLLC(t, mem)
+	// Two distinct-line reads: one unattributed (the replaying core's ID
+	// must substitute), one with an explicit source.
+	tr := &trace.Trace{Records: []trace.Record{
+		{Gap: 0, Addr: 0},
+		{Gap: 0, Addr: 64 * 64, Requester: 7},
+	}}
+	c, err := New(3, Table6Config(), tr, llc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50 && len(mem.reqs) < 2; i++ {
+		llc.Tick()
+		c.Tick()
+	}
+	if len(mem.reqs) < 2 {
+		t.Fatalf("backend saw %d requests, want 2", len(mem.reqs))
+	}
+	if mem.reqs[0] != 3 {
+		t.Errorf("unattributed record reached the backend as requester %d, want the core ID 3", mem.reqs[0])
+	}
+	if mem.reqs[1] != 7 {
+		t.Errorf("explicit record reached the backend as requester %d, want 7", mem.reqs[1])
 	}
 }
 

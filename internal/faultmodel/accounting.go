@@ -42,13 +42,29 @@ func (c *Chip) ForEachCoupledWordline(wl int, fn func(neighbor int, weight float
 // costs one float comparison. On-die ECC parity cells are skipped: the
 // crossings are raw data-bit flips.
 func (c *Chip) ThresholdCrossings(bank, wl int, e float64) ([]Flip, float64) {
+	return c.thresholdCrossings(bank, wl, e, false)
+}
+
+// RawThresholdCrossings is ThresholdCrossings over the full raw bit array:
+// on-die ECC parity cells are included, with Flip.Bit indexing raw bits
+// (data in [0,RowBits), parity above). Hammer accountants for ECC chips
+// track raw crossings and pass them through ObservedFromRaw to learn what
+// the system sees after correction.
+func (c *Chip) RawThresholdCrossings(bank, wl int, e float64) ([]Flip, float64) {
+	return c.thresholdCrossings(bank, wl, e, true)
+}
+
+func (c *Chip) thresholdCrossings(bank, wl int, e float64, includeParity bool) ([]Flip, float64) {
 	next := math.Inf(1)
 	var flips []Flip
 	for _, row := range c.rowsOnWordline(wl) {
 		cells := c.rowCells(bank, row)
 		for i := range cells {
 			cl := &cells[i]
-			if cl.bit >= c.cfg.RowBits || !c.eligible(cl, c.pattern, row) {
+			if !includeParity && cl.bit >= c.cfg.RowBits {
+				continue
+			}
+			if !c.eligible(cl, c.pattern, row) {
 				continue
 			}
 			t := cl.effectiveThreshold(c.pattern)

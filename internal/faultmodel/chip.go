@@ -465,6 +465,28 @@ func (c *Chip) ObservedFlips(bank, row int) []Flip {
 	return c.decodeThroughECC(bank, row, raw)
 }
 
+// ObservedFromRaw filters a row's raw cell flips (raw-bit indices; on-die
+// ECC parity bits included, in [RowBits, RowBits+8·words)) through the
+// chip's ECC and returns the data flips the system observes. Without
+// on-die ECC the data bits pass through unchanged. External hammer
+// accountants use it to report post-correction escaped flips alongside
+// the raw counts.
+func (c *Chip) ObservedFromRaw(bank, row int, raw []int) []Flip {
+	if len(raw) == 0 {
+		return nil
+	}
+	if !c.cfg.OnDieECC {
+		fs := make([]Flip, 0, len(raw))
+		for _, b := range raw {
+			if b < c.cfg.RowBits {
+				fs = append(fs, Flip{Bank: bank, Row: row, Bit: b})
+			}
+		}
+		return fs
+	}
+	return c.decodeThroughECC(bank, row, raw)
+}
+
 // decodeThroughECC groups raw flips into 128-bit ECC words, runs the real
 // SEC decoder on each, and reports the post-correction data flips.
 func (c *Chip) decodeThroughECC(bank, row int, raw []int) []Flip {

@@ -3,6 +3,12 @@
 // with write draining, tREFI-paced all-bank refresh, and the hook through
 // which RowHammer mitigation mechanisms observe activations and inject
 // targeted victim-row refreshes.
+//
+// Every demand request carries a requester (source/thread) ID, which
+// feeds two consumers: the optional BLISS fairness scheduler (per-
+// requester service-streak blacklisting, Config.BLISS) and the
+// mitigation.Throttler hook (per-requester queue admission and ACT
+// attribution, BlockHammer's RowBlocker-Req).
 package memctrl
 
 import (
@@ -23,6 +29,20 @@ type Config struct {
 	// ClosedRow precharges a bank as soon as no queued request targets
 	// its open row (closed-row policy ablation; default is open-row).
 	ClosedRow bool
+
+	// BLISS enables the blacklisting fairness scheduler (after Subramanian
+	// et al.): a requester served BLISSStreak consecutive demand reads is
+	// blacklisted until the next clearing interval, and non-blacklisted
+	// requesters' reads take scheduling priority. The cheap streak counter
+	// is what makes a max-MLP attacker lose its FR-FCFS row-hit monopoly
+	// without per-request bookkeeping.
+	BLISS bool
+	// BLISSStreak is the consecutive-service count that blacklists a
+	// requester (default 4).
+	BLISSStreak int
+	// BLISSClearCycles is the blacklist clearing period in memory-clock
+	// cycles (default 10000).
+	BLISSClearCycles int64
 }
 
 // Table6Config returns the paper's controller parameters.
@@ -30,6 +50,7 @@ func Table6Config() Config { return Config{ReadQueue: 64, WriteQueue: 64} }
 
 type request struct {
 	addr   dram.Address
+	req    int // requester (source/thread) ID; RequesterNone when unknown
 	write  bool
 	onDone func()
 	queued int64
@@ -69,6 +90,43 @@ type Stats struct {
 	// ThrottleStallCycles counts scheduler passes that skipped at least
 	// one throttle-blocked request. Unit: (approximately) memory cycles.
 	ThrottleStallCycles int64
+
+	// BLISSBlacklists counts requester blacklisting events of the BLISS
+	// fairness scheduler.
+	BLISSBlacklists int64
+
+	// PerRequester splits demand-read activity by source, indexed by
+	// requester ID (grown on demand; negative/unknown sources are counted
+	// only in the aggregate fields above).
+	PerRequester []RequesterStats
+}
+
+// RequesterStats is one source's slice of the controller's demand-read
+// activity.
+type RequesterStats struct {
+	Reads          int64 // reads accepted into the queue
+	ServedReads    int64 // reads whose column command issued
+	ThrottledReads int64 // reads rejected at admission by the throttler
+	Blacklistings  int64 // times BLISS blacklisted this requester
+}
+
+// maxTrackedRequesters bounds the per-requester stats table. Requester
+// IDs come from trace files as well as cores, so an adversarial or
+// corrupt trace could otherwise force a multi-gigabyte allocation with
+// one huge ID; sources beyond the cap are counted only in the aggregate
+// fields.
+const maxTrackedRequesters = 1024
+
+// reqStats returns the per-requester slot for id, growing the slice on
+// first sight; nil for unknown or untracked sources.
+func (s *Stats) reqStats(id int) *RequesterStats {
+	if id < 0 || id >= maxTrackedRequesters {
+		return nil
+	}
+	for len(s.PerRequester) <= id {
+		s.PerRequester = append(s.PerRequester, RequesterStats{})
+	}
+	return &s.PerRequester[id]
 }
 
 // Controller owns one channel. Drive it with Tick once per memory-clock
@@ -98,6 +156,21 @@ type Controller struct {
 	// issuingMitigation marks Issue calls made for mitigation ops so the
 	// OnACT observer can attribute them.
 	issuingMitigation bool
+	// issuingReq is the requester whose demand request is being progressed
+	// when an ACT issues (RequesterNone otherwise), so the throttler's
+	// per-source bookkeeping sees who caused each activation.
+	issuingReq int
+
+	// BLISS fairness state: the last-served requester, its service streak,
+	// and the current blacklist (cleared every BLISSClearCycles).
+	blissLast   int
+	blissStreak int
+	blissBlack  map[int]bool
+	blissClear  int64
+
+	// lastThrottleStall deduplicates ThrottleStallCycles across the BLISS
+	// scheduler's two class passes within one cycle.
+	lastThrottleStall int64
 
 	// onACT and onREF forward the command stream to an external observer
 	// (the fault-model hammer accountant of internal/attack).
@@ -125,12 +198,26 @@ func New(cfg Config, ch *dram.Channel, mech mitigation.Mechanism) (*Controller, 
 	if mech == nil {
 		mech = mitigation.NewNone()
 	}
+	if cfg.BLISS {
+		if cfg.BLISSStreak <= 0 {
+			cfg.BLISSStreak = 4
+		}
+		if cfg.BLISSClearCycles <= 0 {
+			cfg.BLISSClearCycles = 10_000
+		}
+	}
 	c := &Controller{
 		cfg:         cfg,
 		ch:          ch,
 		mapper:      mapper,
 		mech:        mech,
 		mitBankBusy: make([]bool, ch.Geo.Banks()),
+		issuingReq:  mitigation.RequesterNone,
+		blissLast:   mitigation.RequesterNone,
+	}
+	if cfg.BLISS {
+		c.blissBlack = make(map[int]bool)
+		c.blissClear = cfg.BLISSClearCycles
 	}
 	c.throttle, _ = mech.(mitigation.Throttler)
 	c.refi = int64(float64(ch.T.REFI) / mech.RefreshMultiplier())
@@ -162,6 +249,9 @@ func (c *Controller) observeACT(rank, bank, row int, cycle int64) {
 	} else {
 		c.Stats.DemandACTs++
 		c.Stats.DemandBusyCycles += int64(c.ch.T.RC)
+		if c.throttle != nil {
+			c.throttle.OnRequesterACT(c.issuingReq, bank, row, cycle)
+		}
 	}
 	victims := c.mech.OnActivate(bank, row, cycle, c.issuingMitigation)
 	for _, v := range victims {
@@ -192,14 +282,19 @@ func (c *Controller) enqueueMitigation(bank, row int) {
 	c.mitQ = append(c.mitQ, mitOp{bank: bank, row: row})
 }
 
-// EnqueueRead accepts a demand read; returns false when the queue is full.
-func (c *Controller) EnqueueRead(addr int64, onDone func()) bool {
+// EnqueueRead accepts a demand read for the given requester; returns
+// false when the queue is full or the throttling mechanism rejects the
+// request at admission (BlockHammer's RowBlocker-Req).
+func (c *Controller) EnqueueRead(requester int, addr int64, onDone func()) bool {
 	// Read-after-write forwarding from the write backlog.
 	line := c.mapper.LineAddress(addr)
 	for _, w := range c.writeQ {
 		if w.addr == c.mapper.Map(line) && w.write {
 			c.returns = append(c.returns, retEvent{cycle: c.cycle + 1, fn: onDone})
 			c.Stats.Reads++
+			if rs := c.Stats.reqStats(requester); rs != nil {
+				rs.Reads++
+			}
 			return true
 		}
 	}
@@ -208,29 +303,34 @@ func (c *Controller) EnqueueRead(addr int64, onDone func()) bool {
 		return false
 	}
 	a := c.mapper.Map(addr)
-	// Request-level throttling (BlockHammer's RowBlocker-Req): once the
-	// queue is half full, reads to a blacklisted row are rejected at
-	// admission, so unissuable requests cannot crowd out other cores.
-	if c.throttle != nil && len(c.readQ) >= c.cfg.ReadQueue/2 &&
-		!c.throttle.ActAllowed(a.Bank, a.Row, c.cycle) {
+	if c.throttle != nil &&
+		!c.throttle.AdmitRequest(requester, a.Bank, a.Row,
+			float64(len(c.readQ))/float64(c.cfg.ReadQueue), c.cycle) {
 		c.Stats.ThrottledReads++
+		if rs := c.Stats.reqStats(requester); rs != nil {
+			rs.ThrottledReads++
+		}
 		return false
 	}
-	c.readQ = append(c.readQ, &request{addr: a, onDone: onDone, queued: c.cycle})
+	c.readQ = append(c.readQ, &request{addr: a, req: requester, onDone: onDone, queued: c.cycle})
 	c.Stats.Reads++
+	if rs := c.Stats.reqStats(requester); rs != nil {
+		rs.Reads++
+	}
 	return true
 }
 
 // EnqueueWrite accepts a write (always; the backlog stands in for the
-// write buffer hierarchy above the 64-entry drain queue).
-func (c *Controller) EnqueueWrite(addr int64) {
+// write buffer hierarchy above the 64-entry drain queue). requester is
+// the source whose fill or flush produced the writeback.
+func (c *Controller) EnqueueWrite(requester int, addr int64) {
 	a := c.mapper.Map(addr)
 	for _, w := range c.writeQ {
 		if w.addr == a {
 			return // coalesce
 		}
 	}
-	c.writeQ = append(c.writeQ, &request{addr: a, write: true, queued: c.cycle})
+	c.writeQ = append(c.writeQ, &request{addr: a, req: requester, write: true, queued: c.cycle})
 	c.Stats.Writes++
 }
 
@@ -244,6 +344,15 @@ func (c *Controller) Cycle() int64 { return c.cycle }
 func (c *Controller) Tick() {
 	c.cycle++
 	c.fireReturns()
+
+	// BLISS forgives all blacklists every clearing interval, so a phase
+	// change in a once-greedy requester is not punished forever.
+	if c.cfg.BLISS && c.cycle >= c.blissClear {
+		for k := range c.blissBlack {
+			delete(c.blissBlack, k)
+		}
+		c.blissClear = c.cycle + c.cfg.BLISSClearCycles
+	}
 
 	if c.cycle >= c.nextREF {
 		c.refPending = true
@@ -269,8 +378,16 @@ func (c *Controller) Tick() {
 		if c.schedule(c.writeQ, true) {
 			return
 		}
-		// While draining, still serve row-hit reads opportunistically.
-		c.scheduleRowHits(c.readQ, false, -1)
+		// While draining, still serve row-hit reads opportunistically —
+		// honoring the BLISS class order, which applies wherever reads
+		// compete for the command slot.
+		if c.cfg.BLISS && len(c.blissBlack) > 0 {
+			if !c.scheduleRowHits(c.readQ, false, -1, c.favored) {
+				c.scheduleRowHits(c.readQ, false, -1, c.demoted)
+			}
+		} else {
+			c.scheduleRowHits(c.readQ, false, -1, nil)
+		}
 		return
 	}
 	if c.schedule(c.readQ, false) {
@@ -413,36 +530,93 @@ func (c *Controller) updateDrainMode() {
 // row-conflict request — real FR-FCFS schedulers cap the hit streak.
 const starveLimit = 512
 
-// schedule applies FR-FCFS to the queue: ready row-hit column commands
-// first, otherwise progress the oldest request (ACT or PRE). Once the
-// oldest request is starving, it preempts row hits to its bank. A
-// throttle-blacklisted request is waiting on the mechanism, not on the
-// scheduler, so it neither counts as starving nor preempts anyone.
+// schedule applies FR-FCFS to the queue. Under BLISS, demand reads are
+// scheduled in two classes: requests from non-blacklisted requesters take
+// the command slot first, and a blacklisted requester's requests are
+// considered only when no favored request can use the cycle — BLISS
+// demotes, it never blocks, so liveness is untouched.
 // Returns true if a command issued.
 func (c *Controller) schedule(q []*request, write bool) bool {
+	if c.cfg.BLISS && !write && len(c.blissBlack) > 0 {
+		if c.scheduleClass(q, write, c.favored) {
+			return true
+		}
+		// A *starving* favored request claims its bank from the demoted
+		// pass too, exactly as row hits yield inside one FR-FCFS pass:
+		// otherwise demoted row hits keep extending the bank's tRTP
+		// horizon and the favored request starves behind the very traffic
+		// BLISS demoted. Short of starvation, demoted requests may fill
+		// the idle slot anywhere — BLISS reorders, it does not idle banks.
+		if ex := c.starvingFavoredBank(q); ex >= 0 {
+			return c.scheduleClass(q, write, func(r *request) bool {
+				return c.demoted(r) && r.addr.Bank != ex
+			})
+		}
+		return c.scheduleClass(q, write, c.demoted)
+	}
+	return c.scheduleClass(q, write, nil)
+}
+
+// favored and demoted are the two BLISS scheduling classes.
+func (c *Controller) favored(r *request) bool { return !c.blissBlack[r.req] }
+func (c *Controller) demoted(r *request) bool { return c.blissBlack[r.req] }
+
+// starvingFavoredBank returns the bank of the oldest schedulable favored
+// request if that request has starved past starveLimit, else -1.
+func (c *Controller) starvingFavoredBank(q []*request) int {
+	for _, r := range q {
+		if !c.favored(r) {
+			continue
+		}
+		if c.throttle != nil && c.throttledIdle(r) {
+			continue
+		}
+		if c.cycle-r.queued > starveLimit {
+			return r.addr.Bank
+		}
+		return -1 // oldest schedulable favored request is not starving
+	}
+	return -1
+}
+
+// scheduleClass applies FR-FCFS to the subset of q matching eligible
+// (nil = every request): ready row-hit column commands first, otherwise
+// progress the oldest request (ACT or PRE). Once the oldest request is
+// starving, it preempts row hits to its bank. A throttle-blacklisted
+// request is waiting on the mechanism, not on the scheduler, so it
+// neither counts as starving nor preempts anyone. Returns true if a
+// command issued.
+func (c *Controller) scheduleClass(q []*request, write bool, eligible func(*request) bool) bool {
 	if len(q) == 0 {
 		return false
 	}
-	// One throttle scan per cycle: find the oldest unthrottled request and
-	// hand its index to progressFrom, so the sketch queries behind
-	// ActAllowed are not repeated over the same prefix.
-	oldest := 0
-	if c.throttle != nil {
-		oldest = -1
-		for i, r := range q {
-			if !c.throttledIdle(r) {
-				oldest = i
-				break
-			}
+	// One throttle scan per pass: find the oldest eligible unthrottled
+	// request and hand its index to progressFrom, so the sketch queries
+	// behind ActAllowed are not repeated over the same prefix.
+	oldest := -1
+	throttleSkip := false
+	for i, r := range q {
+		if eligible != nil && !eligible(r) {
+			continue
 		}
-		if oldest != 0 {
-			c.Stats.ThrottleStallCycles++
+		if c.throttle != nil && c.throttledIdle(r) {
+			throttleSkip = true
+			continue
 		}
-		if oldest < 0 {
-			// Every queued request is throttle-blocked with its row closed:
-			// no row hit or progress is possible this cycle.
-			return false
-		}
+		oldest = i
+		break
+	}
+	// Count at most one throttle-stall per memory cycle: under BLISS this
+	// method runs once per class, and blocked requests in both classes
+	// must not inflate the (per-cycle) stat.
+	if throttleSkip && c.lastThrottleStall != c.cycle {
+		c.Stats.ThrottleStallCycles++
+		c.lastThrottleStall = c.cycle
+	}
+	if oldest < 0 {
+		// Every eligible request is throttle-blocked with its row closed:
+		// no row hit or progress is possible for this class this cycle.
+		return false
 	}
 	starving := c.cycle-q[oldest].queued > starveLimit
 	exclude := -1
@@ -452,7 +626,7 @@ func (c *Controller) schedule(q []*request, write bool) bool {
 			return true
 		}
 	}
-	if !c.cfg.FCFSOnly && c.scheduleRowHits(q, write, exclude) {
+	if !c.cfg.FCFSOnly && c.scheduleRowHits(q, write, exclude, eligible) {
 		return true
 	}
 	if !starving && c.progressFrom(q, write, oldest) {
@@ -468,7 +642,7 @@ func (c *Controller) throttledIdle(req *request) bool {
 	if c.throttle == nil || c.ch.OpenRow(0, req.addr.Bank) == req.addr.Row {
 		return false
 	}
-	return !c.throttle.ActAllowed(req.addr.Bank, req.addr.Row, c.cycle)
+	return !c.throttle.ActAllowed(req.req, req.addr.Bank, req.addr.Row, c.cycle)
 }
 
 // progressFrom moves q[start] — the oldest schedulable request, as
@@ -483,7 +657,9 @@ func (c *Controller) progressFrom(q []*request, write bool, start int) bool {
 	}
 	if open == -1 {
 		if c.ch.CanIssue(dram.CmdACT, 0, bank, req.addr.Row, c.cycle) {
+			c.issuingReq = req.req
 			c.ch.Issue(dram.CmdACT, 0, bank, req.addr.Row, c.cycle)
+			c.issuingReq = mitigation.RequesterNone
 			return true
 		}
 		return false
@@ -495,10 +671,14 @@ func (c *Controller) progressFrom(q []*request, write bool, start int) bool {
 	return false
 }
 
-// scheduleRowHits issues the first ready row-hit column access in q,
-// skipping excludeBank (a starving request's bank).
-func (c *Controller) scheduleRowHits(q []*request, write bool, excludeBank int) bool {
+// scheduleRowHits issues the first ready row-hit column access in q
+// matching eligible (nil = all), skipping excludeBank (a starving
+// request's bank).
+func (c *Controller) scheduleRowHits(q []*request, write bool, excludeBank int, eligible func(*request) bool) bool {
 	for i, req := range q {
+		if eligible != nil && !eligible(req) {
+			continue
+		}
 		if req.addr.Bank == excludeBank {
 			continue
 		}
@@ -526,6 +706,30 @@ func (c *Controller) serveAt(q []*request, i int, write bool) bool {
 	ready := c.ch.Issue(cmd, 0, req.addr.Bank, req.addr.Row, c.cycle)
 	if !req.write && req.onDone != nil {
 		c.returns = append(c.returns, retEvent{cycle: ready, fn: req.onDone})
+	}
+	if !write {
+		if rs := c.Stats.reqStats(req.req); rs != nil {
+			rs.ServedReads++
+		}
+		// BLISS streak accounting: a requester monopolizing consecutive
+		// read service gets blacklisted until the next clearing interval.
+		if c.cfg.BLISS {
+			if req.req == c.blissLast {
+				c.blissStreak++
+			} else {
+				c.blissLast, c.blissStreak = req.req, 1
+			}
+			if c.blissStreak >= c.cfg.BLISSStreak {
+				if req.req >= 0 && !c.blissBlack[req.req] {
+					c.blissBlack[req.req] = true
+					c.Stats.BLISSBlacklists++
+					if rs := c.Stats.reqStats(req.req); rs != nil {
+						rs.Blacklistings++
+					}
+				}
+				c.blissStreak = 0
+			}
+		}
 	}
 	if write {
 		c.writeQ = append(q[:i], q[i+1:]...)

@@ -30,7 +30,7 @@ func run(ctrl *Controller, cycles int) {
 func TestReadCompletes(t *testing.T) {
 	ctrl, _ := testController(t, nil)
 	done := false
-	if !ctrl.EnqueueRead(0x10000, func() { done = true }) {
+	if !ctrl.EnqueueRead(0, 0x10000, func() { done = true }) {
 		t.Fatal("read rejected on empty queue")
 	}
 	run(ctrl, 200)
@@ -46,7 +46,7 @@ func TestReadQueueCapacity(t *testing.T) {
 	ctrl, _ := testController(t, nil)
 	accepted := 0
 	for i := 0; i < 100; i++ {
-		if ctrl.EnqueueRead(int64(i)*1<<20, func() {}) {
+		if ctrl.EnqueueRead(0, int64(i)*1<<20, func() {}) {
 			accepted++
 		}
 	}
@@ -61,7 +61,7 @@ func TestReadQueueCapacity(t *testing.T) {
 func TestWritesDrainEventually(t *testing.T) {
 	ctrl, _ := testController(t, nil)
 	for i := 0; i < 80; i++ {
-		ctrl.EnqueueWrite(int64(i) * 1 << 14)
+		ctrl.EnqueueWrite(0, int64(i)*1<<14)
 	}
 	if ctrl.Stats.Writes != 80 {
 		t.Fatalf("writes accepted = %d", ctrl.Stats.Writes)
@@ -77,8 +77,8 @@ func TestWritesDrainEventually(t *testing.T) {
 
 func TestWriteCoalescing(t *testing.T) {
 	ctrl, _ := testController(t, nil)
-	ctrl.EnqueueWrite(0x4000)
-	ctrl.EnqueueWrite(0x4000)
+	ctrl.EnqueueWrite(0, 0x4000)
+	ctrl.EnqueueWrite(0, 0x4000)
 	if len(ctrl.writeQ) != 1 {
 		t.Errorf("duplicate write not coalesced: %d", len(ctrl.writeQ))
 	}
@@ -86,9 +86,9 @@ func TestWriteCoalescing(t *testing.T) {
 
 func TestReadAfterWriteForwarding(t *testing.T) {
 	ctrl, _ := testController(t, nil)
-	ctrl.EnqueueWrite(0x8000)
+	ctrl.EnqueueWrite(0, 0x8000)
 	done := false
-	if !ctrl.EnqueueRead(0x8000, func() { done = true }) {
+	if !ctrl.EnqueueRead(0, 0x8000, func() { done = true }) {
 		t.Fatal("forwarded read rejected")
 	}
 	run(ctrl, 3)
@@ -142,7 +142,7 @@ func (h *hammerMech) RefreshMultiplier() float64                                
 func TestMitigationRefreshPlumbing(t *testing.T) {
 	mech := &hammerMech{}
 	ctrl, _ := testController(t, mech)
-	ctrl.EnqueueRead(0x100000, func() {})
+	ctrl.EnqueueRead(0, 0x100000, func() {})
 	run(ctrl, 500)
 	if mech.victims == 0 {
 		t.Fatal("mechanism never observed the demand ACT")
@@ -159,7 +159,7 @@ func TestExternalACTObserver(t *testing.T) {
 	ctrl, _ := testController(t, nil)
 	var rows []int
 	ctrl.OnACT(func(rank, bank, row int, cycle int64) { rows = append(rows, row) })
-	ctrl.EnqueueRead(0x30000, func() {})
+	ctrl.EnqueueRead(0, 0x30000, func() {})
 	run(ctrl, 300)
 	if len(rows) == 0 {
 		t.Fatal("external observer never fired")
@@ -188,14 +188,23 @@ type blockRow struct {
 	mitigation.None
 	bank, row int
 	denials   int64
+	actReqs   []int // requesters attributed via OnRequesterACT
 }
 
-func (b *blockRow) ActAllowed(bank, row int, cycle int64) bool {
+func (b *blockRow) ActAllowed(requester, bank, row int, cycle int64) bool {
 	if bank == b.bank && row == b.row {
 		b.denials++
 		return false
 	}
 	return true
+}
+
+func (b *blockRow) AdmitRequest(requester, bank, row int, queueLoad float64, cycle int64) bool {
+	return true
+}
+
+func (b *blockRow) OnRequesterACT(requester, bank, row int, cycle int64) {
+	b.actReqs = append(b.actReqs, requester)
 }
 
 func TestThrottledRowDoesNotStallOthers(t *testing.T) {
@@ -207,8 +216,8 @@ func TestThrottledRowDoesNotStallOthers(t *testing.T) {
 	blockedDone, otherDone := false, false
 	// The blacklisted request is the oldest; a younger request in another
 	// bank must still progress past it.
-	ctrl.EnqueueRead(mapper.AddressOf(dram.Address{Bank: 0, Row: 100}), func() { blockedDone = true })
-	ctrl.EnqueueRead(mapper.AddressOf(dram.Address{Bank: 5, Row: 300}), func() { otherDone = true })
+	ctrl.EnqueueRead(0, mapper.AddressOf(dram.Address{Bank: 0, Row: 100}), func() { blockedDone = true })
+	ctrl.EnqueueRead(0, mapper.AddressOf(dram.Address{Bank: 5, Row: 300}), func() { otherDone = true })
 	run(ctrl, 2000)
 	if blockedDone {
 		t.Error("permanently throttled request completed")
@@ -234,20 +243,146 @@ func TestStarvationBounded(t *testing.T) {
 		return mapper.AddressOf(dram.Address{Bank: 0, Row: 200, Col: col % ch.Geo.Columns})
 	}
 	// Open row 200 and keep hitting it while the row-100 request waits.
-	ctrl.EnqueueRead(hitAddr(0), func() {})
+	ctrl.EnqueueRead(0, hitAddr(0), func() {})
 	run(ctrl, 100)
 	done := false
-	ctrl.EnqueueRead(victimAddr, func() { done = true })
+	ctrl.EnqueueRead(0, victimAddr, func() { done = true })
 	col := 1
 	for i := 0; i < 5000 && !done; i++ {
 		if ctrl.PendingReads() < 32 {
-			ctrl.EnqueueRead(hitAddr(col), func() {})
+			ctrl.EnqueueRead(0, hitAddr(col), func() {})
 			col++
 		}
 		ctrl.Tick()
 	}
 	if !done {
 		t.Fatal("row-conflict request starved behind a row-hit stream")
+	}
+}
+
+func TestPerRequesterStatsAndACTAttribution(t *testing.T) {
+	mech := &blockRow{bank: -1, row: -1} // throttles nothing, records ACT sources
+	ctrl, ch := testController(t, mech)
+	mapper, err := dram.NewAddressMapper(ch.Geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two requesters, distinct banks so both need an ACT.
+	ctrl.EnqueueRead(0, mapper.AddressOf(dram.Address{Bank: 0, Row: 10}), func() {})
+	ctrl.EnqueueRead(2, mapper.AddressOf(dram.Address{Bank: 3, Row: 20}), func() {})
+	run(ctrl, 500)
+	if len(ctrl.Stats.PerRequester) < 3 {
+		t.Fatalf("per-requester stats = %d entries, want ≥3", len(ctrl.Stats.PerRequester))
+	}
+	for _, id := range []int{0, 2} {
+		rs := ctrl.Stats.PerRequester[id]
+		if rs.Reads != 1 || rs.ServedReads != 1 {
+			t.Errorf("requester %d stats = %+v, want 1 read accepted and served", id, rs)
+		}
+	}
+	if rs := ctrl.Stats.PerRequester[1]; rs.Reads != 0 {
+		t.Errorf("idle requester accrued reads: %+v", rs)
+	}
+	// The throttler's per-source hook saw both demand ACTs with the right
+	// attribution.
+	want := map[int]bool{0: true, 2: true}
+	for _, r := range mech.actReqs {
+		delete(want, r)
+	}
+	if len(want) != 0 {
+		t.Errorf("OnRequesterACT missed sources %v (saw %v)", want, mech.actReqs)
+	}
+}
+
+// blissConfig returns a Table 6 controller with the fairness scheduler on
+// and a tiny streak so tests trigger blacklisting quickly.
+func blissConfig() Config {
+	cfg := Table6Config()
+	cfg.BLISS = true
+	cfg.BLISSStreak = 3
+	cfg.BLISSClearCycles = 5_000
+	return cfg
+}
+
+func TestBLISSBlacklistsStreakAndDemotes(t *testing.T) {
+	geo := dram.Table6Geometry()
+	ch, err := dram.NewChannel(geo, dram.DDR4_2400(geo.Rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := New(blissConfig(), ch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapper, err := dram.NewAddressMapper(geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitAddr := func(col int) int64 {
+		return mapper.AddressOf(dram.Address{Bank: 0, Row: 200, Col: col % geo.Columns})
+	}
+	// Requester 0 streams row hits; requester 1 wants a conflicting row in
+	// the same bank. BLISS blacklists the streamer after three consecutive
+	// services, and once the conflict starves past the cap its bank is
+	// claimed from the demoted pass too, so the stream cannot extend the
+	// tRTP horizon forever.
+	ctrl.EnqueueRead(0, hitAddr(0), func() {})
+	run(ctrl, 100)
+	served1 := int64(-1)
+	start := ctrl.Cycle()
+	ctrl.EnqueueRead(1, mapper.AddressOf(dram.Address{Bank: 0, Row: 100}), func() { served1 = ctrl.Cycle() })
+	col := 1
+	for i := 0; i < 4000 && served1 < 0; i++ {
+		if ctrl.PendingReads() < 16 {
+			ctrl.EnqueueRead(0, hitAddr(col), func() {})
+			col++
+		}
+		ctrl.Tick()
+	}
+	if served1 < 0 {
+		t.Fatal("conflicting request never served under BLISS")
+	}
+	if ctrl.Stats.BLISSBlacklists == 0 {
+		t.Error("streaming requester never blacklisted")
+	}
+	if rs := ctrl.Stats.PerRequester[0]; rs.Blacklistings == 0 {
+		t.Error("blacklisting not attributed to the streaming requester")
+	}
+	if rs := ctrl.Stats.PerRequester[1]; rs.Blacklistings != 0 {
+		t.Errorf("victim requester blacklisted: %+v", rs)
+	}
+	if wait := served1 - start; wait > 2*starveLimit {
+		t.Errorf("conflict waited %d cycles behind a demoted stream (cap %d)", wait, starveLimit)
+	}
+}
+
+func TestBLISSClearingForgives(t *testing.T) {
+	geo := dram.Table6Geometry()
+	ch, err := dram.NewChannel(geo, dram.DDR4_2400(geo.Rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := New(blissConfig(), ch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapper, err := dram.NewAddressMapper(geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep one requester streaming across several clearing intervals: each
+	// interval forgives the blacklist, the streak rebuilds, and the
+	// requester is blacklisted again.
+	col := 0
+	for i := 0; i < 20_000; i++ {
+		if ctrl.PendingReads() < 16 {
+			ctrl.EnqueueRead(0, mapper.AddressOf(dram.Address{Bank: 0, Row: 50, Col: col % geo.Columns}), func() {})
+			col++
+		}
+		ctrl.Tick()
+	}
+	if got := ctrl.Stats.PerRequester[0].Blacklistings; got < 2 {
+		t.Errorf("blacklistings = %d across clearing intervals, want ≥2 (clearing never forgave)", got)
 	}
 }
 
@@ -263,7 +398,7 @@ func TestClosedRowPolicyCloses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctrl.EnqueueRead(0x50000, func() {})
+	ctrl.EnqueueRead(0, 0x50000, func() {})
 	run(ctrl, 400)
 	for b := 0; b < geo.Banks(); b++ {
 		if ch.OpenRow(0, b) != -1 {
@@ -286,7 +421,7 @@ func TestFCFSOnlyStillCompletes(t *testing.T) {
 	}
 	completed := 0
 	for i := 0; i < 16; i++ {
-		ctrl.EnqueueRead(int64(i)*1<<16, func() { completed++ })
+		ctrl.EnqueueRead(0, int64(i)*1<<16, func() { completed++ })
 	}
 	run(ctrl, 10_000)
 	if completed != 16 {

@@ -10,6 +10,18 @@ package mitigation
 // two of its own refreshes. Unlike the paper's six mechanisms it issues
 // zero extra refreshes; its cost is demand-ACT latency on (truly or
 // falsely) blacklisted rows.
+//
+// Two RowBlocker-Req admission policies are implemented. The default
+// per-requester policy tracks a RowHammer likelihood index (RHLI) per
+// source thread — the thread's activation count on hot rows relative to
+// the blacklist threshold — and rejects queue admission of blacklisted-row
+// requests only from sources whose RHLI marks them as hammerers, so a
+// benign thread that merely touches a (truly or falsely) blacklisted row
+// is never collateral. The legacy blanket policy (NewBlockHammerBlanket,
+// the pre-requester-ID behavior) rejects any blacklisted-row read once the
+// queue is half full, regardless of who asks. Both share the same
+// requester-agnostic RowBlocker-Act spacing, so the security guarantee is
+// identical; they differ only in who pays the queue-admission cost.
 type BlockHammer struct {
 	p Params
 
@@ -28,6 +40,16 @@ type BlockHammer struct {
 	epochStart int64
 	filters    [2]*countMin // [0] active (inserted), [1] previous epoch
 	release    map[int64]int64
+
+	// blanket selects the legacy requester-blind admission policy.
+	blanket bool
+	// rhliACTs counts, per requester, issued ACTs whose target row's
+	// estimate had already climbed past rhliRampFrac×NBL — the numerator
+	// of the RowHammer likelihood index. Halved on every epoch rotation,
+	// mirroring the estimate's two-epoch window: a still-blacklisted
+	// hammerer keeps a high RHLI across the rotation instead of being
+	// briefly re-admitted while its index re-ramps.
+	rhliACTs map[int]float64
 
 	throttleEvents int64
 }
@@ -97,12 +119,19 @@ const cmCounters = 4096
 // boundaries.
 const blockHammerSafety = 0.8
 
-// NewBlockHammer builds the throttler for a chip's HCfirst.
+// rhliRampFrac: issued ACTs to rows whose estimate has reached this
+// fraction of NBL count toward the activating requester's RHLI, so a
+// hammerer's index climbs during the ramp to the blacklist threshold, not
+// only at the (budget-bounded, hence slow) post-blacklist trickle.
+const rhliRampFrac = 0.5
+
+// NewBlockHammer builds the throttler for a chip's HCfirst, with
+// per-requester RowBlocker-Req admission.
 func NewBlockHammer(p Params) (*BlockHammer, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	m := &BlockHammer{p: p, release: make(map[int64]int64)}
+	m := &BlockHammer{p: p, release: make(map[int64]int64), rhliACTs: make(map[int]float64)}
 	m.epochLen = p.TREFW / 2
 	if m.epochLen < 1 {
 		m.epochLen = 1
@@ -129,7 +158,25 @@ func NewBlockHammer(p Params) (*BlockHammer, error) {
 	return m, nil
 }
 
-func (m *BlockHammer) Name() string { return "BlockHammer" }
+// NewBlockHammerBlanket builds the legacy requester-blind variant: queue
+// admission rejects any blacklisted-row read once the queue is half full,
+// whoever asks. It is the comparison baseline the per-requester policy is
+// measured against.
+func NewBlockHammerBlanket(p Params) (*BlockHammer, error) {
+	m, err := NewBlockHammer(p)
+	if err != nil {
+		return nil, err
+	}
+	m.blanket = true
+	return m, nil
+}
+
+func (m *BlockHammer) Name() string {
+	if m.blanket {
+		return "BlockHammer-blanket"
+	}
+	return "BlockHammer"
+}
 
 func (m *BlockHammer) key(bank, row int) int64 { return int64(bank)<<32 | int64(row) }
 
@@ -142,6 +189,13 @@ func (m *BlockHammer) rotate(cycle int64) {
 		m.filters[0], m.filters[1] = m.filters[1], m.filters[0]
 		m.filters[0].clear()
 		m.release = make(map[int64]int64)
+		for k, v := range m.rhliACTs {
+			if v >= 1 {
+				m.rhliACTs[k] = v / 2
+			} else {
+				delete(m.rhliACTs, k)
+			}
+		}
 	}
 }
 
@@ -166,9 +220,11 @@ func (m *BlockHammer) OnAutoRefresh(bank, rowStart, rowCount int, cycle int64) [
 	return nil
 }
 
-// ActAllowed implements Throttler: blacklisted rows wait out minInterval
-// between activations.
-func (m *BlockHammer) ActAllowed(bank, row int, cycle int64) bool {
+// ActAllowed implements Throttler's RowBlocker-Act: blacklisted rows wait
+// out minInterval between activations. The answer deliberately ignores the
+// requester — the per-row budget is the security invariant, and it must
+// hold however the activations are attributed.
+func (m *BlockHammer) ActAllowed(requester, bank, row int, cycle int64) bool {
 	m.rotate(cycle)
 	if m.estimate(bank, row) < m.nbl {
 		return true
@@ -178,6 +234,57 @@ func (m *BlockHammer) ActAllowed(bank, row int, cycle int64) bool {
 		return false
 	}
 	return true
+}
+
+// AdmitRequest implements Throttler's RowBlocker-Req. Per-requester
+// policy: a blacklisted-row read is rejected only when its source's RHLI
+// has reached 1 (the thread has personally driven a blacklist threshold's
+// worth of hot-row activations this epoch pair — it is hammering).
+// Blanket policy: any blacklisted-row read is rejected while the queue is
+// at least half full and the row is inside its spacing window.
+func (m *BlockHammer) AdmitRequest(requester, bank, row int, queueLoad float64, cycle int64) bool {
+	m.rotate(cycle)
+	if m.estimate(bank, row) < m.nbl {
+		return true
+	}
+	// An unknown source cannot accrue an RHLI, so it must never be
+	// privileged by the per-requester policy: fall back to the blanket
+	// rule for it (and for the blanket variant itself).
+	if m.blanket || requester < 0 {
+		if queueLoad < 0.5 {
+			return true
+		}
+		if rel, ok := m.release[m.key(bank, row)]; ok && cycle < rel {
+			m.throttleEvents++
+			return false
+		}
+		return true
+	}
+	if m.RHLI(requester) >= 1 {
+		m.throttleEvents++
+		return false
+	}
+	return true
+}
+
+// OnRequesterACT attributes an issued demand ACT to its source: once the
+// target row's estimate has climbed past rhliRampFrac×NBL, the ACT counts
+// toward the requester's RowHammer likelihood index.
+func (m *BlockHammer) OnRequesterACT(requester, bank, row int, cycle int64) {
+	if requester < 0 {
+		return
+	}
+	m.rotate(cycle)
+	if m.estimate(bank, row) >= rhliRampFrac*m.nbl {
+		m.rhliACTs[requester]++
+	}
+}
+
+// RHLI returns the requester's RowHammer likelihood index for the live
+// epoch pair: hot-row activations relative to the blacklist threshold.
+// 0 is a certainly-benign source; ≥1 marks a hammerer.
+func (m *BlockHammer) RHLI(requester int) float64 {
+	return m.rhliACTs[requester] / m.nbl
 }
 
 func (m *BlockHammer) RefreshMultiplier() float64 { return 1 }

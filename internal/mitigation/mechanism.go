@@ -75,13 +75,30 @@ type Viability interface {
 	ViabilityNote() string
 }
 
+// RequesterNone marks an access whose source is unknown (direct
+// controller use without a core in front). Throttlers must treat it as a
+// distinct, never-privileged source.
+const RequesterNone = -1
+
 // Throttler is the optional extension throttling-based defenses implement
 // (BlockHammer, Yağlıkçı et al., HPCA 2021). The controller consults
 // ActAllowed before issuing a demand activation and delays the request
 // while it returns false; mitigation-triggered refreshes are never
 // throttled. Mechanisms still observe every issued ACT via OnActivate.
+//
+// The three methods split the design's two blockers plus its bookkeeping:
+// ActAllowed is RowBlocker-Act (the per-row safety invariant — it must not
+// depend on the requester for its admit/deny answer, or a spoofed source
+// could exceed a row's activation budget); AdmitRequest is RowBlocker-Req
+// (requester-aware queue admission, so a hammering thread cannot crowd the
+// read queue with unissuable requests); OnRequesterACT attributes every
+// issued demand ACT to its source so per-thread RowHammer-likelihood state
+// can accrue. queueLoad is the read queue's occupancy fraction at
+// admission time.
 type Throttler interface {
-	ActAllowed(bank, row int, cycle int64) bool
+	ActAllowed(requester, bank, row int, cycle int64) bool
+	AdmitRequest(requester, bank, row int, queueLoad float64, cycle int64) bool
+	OnRequesterACT(requester, bank, row int, cycle int64)
 }
 
 // clampRow keeps victim rows inside the bank.

@@ -381,7 +381,7 @@ func TestBlockHammerBlacklistsAndThrottles(t *testing.T) {
 	// refreshes are ever requested.
 	burst := int(m.NBL()) - 1
 	for i := 0; i < burst; i++ {
-		if !m.ActAllowed(0, 700, int64(i)) {
+		if !m.ActAllowed(0, 0, 700, int64(i)) {
 			t.Fatalf("throttled after only %d ACTs (NBL=%.0f)", i, m.NBL())
 		}
 		if got := m.OnActivate(0, 700, int64(i), false); got != nil {
@@ -390,17 +390,17 @@ func TestBlockHammerBlacklistsAndThrottles(t *testing.T) {
 	}
 	// Past the threshold the row must wait out the spacing interval.
 	m.OnActivate(0, 700, int64(burst), false)
-	if m.ActAllowed(0, 700, int64(burst)+1) {
+	if m.ActAllowed(0, 0, 700, int64(burst)+1) {
 		t.Error("blacklisted row allowed to activate immediately")
 	}
-	if !m.ActAllowed(0, 700, int64(burst)+m.MinInterval()+1) {
+	if !m.ActAllowed(0, 0, 700, int64(burst)+m.MinInterval()+1) {
 		t.Error("blacklisted row still blocked after the spacing interval")
 	}
 	if m.ThrottleEvents() == 0 {
 		t.Error("no throttle events counted")
 	}
 	// Other rows are unaffected.
-	if !m.ActAllowed(0, 5_000, int64(burst)+1) || !m.ActAllowed(3, 700, int64(burst)+1) {
+	if !m.ActAllowed(0, 0, 5_000, int64(burst)+1) || !m.ActAllowed(0, 3, 700, int64(burst)+1) {
 		t.Error("throttling leaked to unrelated rows")
 	}
 }
@@ -417,7 +417,7 @@ func TestBlockHammerBudgetBoundsWindowACTs(t *testing.T) {
 	acts := 0
 	trc := p.TRC
 	for cycle := int64(0); cycle < p.TREFW; cycle += trc {
-		if m.ActAllowed(0, 123, cycle) {
+		if m.ActAllowed(0, 0, 123, cycle) {
 			m.OnActivate(0, 123, cycle, false)
 			acts++
 		}
@@ -440,14 +440,106 @@ func TestBlockHammerEpochRotationForgivesOldActivity(t *testing.T) {
 	for i := 0; i < nbl+10; i++ {
 		m.OnActivate(0, 42, int64(i), false)
 	}
-	if m.ActAllowed(0, 42, int64(nbl)+11) {
+	if m.ActAllowed(0, 0, 42, int64(nbl)+11) {
 		t.Fatal("row not blacklisted during the epoch")
 	}
 	// Two epoch lengths later both live filters have rotated past the
 	// burst: the row starts fresh.
 	later := p.TREFW + 10
-	if !m.ActAllowed(0, 42, later) {
+	if !m.ActAllowed(0, 0, 42, later) {
 		t.Error("blacklist survived full filter rotation")
+	}
+}
+
+func TestBlockHammerPerRequesterAdmission(t *testing.T) {
+	p := testParams(2_000)
+	m, err := NewBlockHammer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Requester 0 hammers one row the way the controller reports it: the
+	// per-source attribution hook fires for every issued ACT, then the
+	// mechanism observes the ACT itself.
+	hammer := int(2.5 * m.NBL())
+	for i := 0; i < hammer; i++ {
+		m.OnRequesterACT(0, 0, 700, int64(i))
+		m.OnActivate(0, 700, int64(i), false)
+	}
+	cycle := int64(hammer)
+	if rhli := m.RHLI(0); rhli < 1 {
+		t.Fatalf("hammering requester's RHLI = %.2f after %d hot-row ACTs, want ≥1", rhli, hammer)
+	}
+	if rhli := m.RHLI(1); rhli != 0 {
+		t.Errorf("idle requester's RHLI = %.2f, want 0", rhli)
+	}
+	// The hammerer is rejected at admission even with an empty queue; a
+	// benign requester touching the same blacklisted row is admitted.
+	if m.AdmitRequest(0, 0, 700, 0, cycle) {
+		t.Error("hammering requester admitted to its blacklisted row")
+	}
+	if !m.AdmitRequest(1, 0, 700, 0.9, cycle) {
+		t.Error("benign requester rejected from a blacklisted row (per-requester policy must not take collateral)")
+	}
+	// Non-blacklisted rows are never admission-throttled, hammerer or not.
+	if !m.AdmitRequest(0, 0, 5_000, 0.9, cycle) {
+		t.Error("hammering requester rejected from a cold row")
+	}
+	// The row-level safety gate stays requester-blind: right after an ACT
+	// the blacklisted row is inside its spacing window for everyone.
+	m.OnActivate(0, 700, cycle, false)
+	if m.ActAllowed(0, 0, 700, cycle+1) || m.ActAllowed(1, 0, 700, cycle+1) {
+		t.Error("spacing window leaked through for some requester")
+	}
+
+	// The blanket variant rejects anyone once the queue is half full.
+	b, err := NewBlockHammerBlanket(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() == m.Name() {
+		t.Error("blanket variant shares the per-requester name")
+	}
+	for i := 0; i < int(b.NBL())+1; i++ {
+		b.OnActivate(0, 700, int64(i), false)
+	}
+	bc := int64(b.NBL()) + 1
+	if b.AdmitRequest(1, 0, 700, 0.9, bc) {
+		t.Error("blanket policy admitted a blacklisted-row read on a loaded queue")
+	}
+	if !b.AdmitRequest(1, 0, 700, 0.3, bc) {
+		t.Error("blanket policy rejected below the half-full watermark")
+	}
+}
+
+func TestBlockHammerRHLISurvivesEpochRotation(t *testing.T) {
+	p := testParams(2_000)
+	m, err := NewBlockHammer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hammer := int(3 * m.NBL())
+	for i := 0; i < hammer; i++ {
+		m.OnRequesterACT(0, 0, 700, int64(i))
+		m.OnActivate(0, 700, int64(i), false)
+	}
+	before := m.RHLI(0)
+	if before < 2 {
+		t.Fatalf("setup: RHLI = %.2f, want ≥2", before)
+	}
+	// One epoch rotation: the previous epoch's filter still blacklists the
+	// row, so the hammerer's RHLI must decay (halve), not vanish — or the
+	// attacker would be re-admitted to a still-blacklisted row while its
+	// index re-ramps at the spacing-bounded trickle.
+	rotated := p.TREFW/2 + 10
+	if got := m.RHLI(0); got != before {
+		t.Fatalf("RHLI changed without rotation: %.2f vs %.2f", got, before)
+	}
+	if m.AdmitRequest(0, 0, 700, 0, rotated) {
+		t.Error("hammerer re-admitted to its still-blacklisted row right after rotation")
+	}
+	after := m.RHLI(0)
+	if after <= 0 || after >= before {
+		t.Errorf("post-rotation RHLI = %.2f, want halved from %.2f", after, before)
 	}
 }
 

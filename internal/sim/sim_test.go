@@ -146,6 +146,49 @@ func TestRunAlone(t *testing.T) {
 	}
 }
 
+func TestRequesterStatsReachController(t *testing.T) {
+	cfg := quickConfig()
+	mix := quickMix(3, 5)
+	res, err := Run(cfg, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every core's ID must arrive at the controller as a requester with
+	// demand reads attributed to it: the cpu→cache→memctrl identity path.
+	if len(res.Ctrl.PerRequester) < len(mix.Traces) {
+		t.Fatalf("controller saw %d requesters, want ≥%d", len(res.Ctrl.PerRequester), len(mix.Traces))
+	}
+	var sum int64
+	for i := range mix.Traces {
+		rs := res.Ctrl.PerRequester[i]
+		if rs.Reads == 0 {
+			t.Errorf("core %d: no reads attributed", i)
+		}
+		sum += rs.Reads
+	}
+	if sum != res.Ctrl.Reads {
+		t.Errorf("per-requester reads sum %d != total %d (attribution leak)", sum, res.Ctrl.Reads)
+	}
+}
+
+func TestBLISSSchedulerRunCompletes(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Ctrl.BLISS = true
+	mix := quickMix(4, 6)
+	res, err := Run(cfg, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ipc := range res.IPC {
+		if ipc <= 0 {
+			t.Errorf("core %d starved under BLISS (IPC %v)", i, ipc)
+		}
+	}
+	if res.Ctrl.BLISSBlacklists == 0 {
+		t.Error("no blacklisting events on a multi-core memory-intensive mix")
+	}
+}
+
 func TestIdealMechanismNearZeroOverheadAtHighHCFirst(t *testing.T) {
 	cfg := quickConfig()
 	mix := quickMix(4, 4)

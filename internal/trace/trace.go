@@ -20,11 +20,17 @@ import (
 // memory access. NoCache marks a flush+load (the clflush-based access
 // RowHammer attack code uses): the LLC invalidates any cached copy and
 // forwards the read straight to the memory controller without allocating.
+//
+// Requester is the explicit source/thread ID of the access for traces that
+// capture multi-threaded attribution (trace format v2). The default 0
+// means "unattributed": the replaying core substitutes its own ID, so
+// per-core synthetic traces need not set it.
 type Record struct {
-	Gap     int
-	Addr    int64
-	Write   bool
-	NoCache bool
+	Gap       int
+	Addr      int64
+	Write     bool
+	NoCache   bool
+	Requester int
 }
 
 // Trace is a finite instruction trace replayed cyclically by the core.
@@ -63,13 +69,15 @@ func (t *Trace) Instructions() int64 {
 // MemoryAccesses returns the number of memory instructions per pass.
 func (t *Trace) MemoryAccesses() int { return len(t.Records) }
 
-// Encode writes the trace in the text format "gap addr R|W|F", one
-// record per line ("F" is an uncached flush+load), with a header comment
-// carrying the replay parameters (PassStride, Span) so a decoded trace
-// pass-shifts exactly like the original.
+// Encode writes the trace in text format v2: "gap addr R|W|F [requester]",
+// one record per line ("F" is an uncached flush+load), with a header
+// comment carrying the format version and the replay parameters
+// (PassStride, Span) so a decoded trace pass-shifts exactly like the
+// original. The requester field is written only when nonzero, so v2 output
+// for unattributed traces stays line-compatible with v1 readers.
 func (t *Trace) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "# trace %s records=%d stride=%d span=%d\n",
+	if _, err := fmt.Fprintf(bw, "# trace %s v2 records=%d stride=%d span=%d\n",
 		t.Name, len(t.Records), t.PassStride, t.Span); err != nil {
 		return err
 	}
@@ -86,14 +94,25 @@ func (t *Trace) Encode(w io.Writer) error {
 		case r.NoCache:
 			op = "F"
 		}
-		if _, err := fmt.Fprintf(bw, "%d %d %s\n", r.Gap, r.Addr, op); err != nil {
+		if r.Requester < 0 {
+			return fmt.Errorf("trace: record %d: negative requester %d", i, r.Requester)
+		}
+		var err error
+		if r.Requester != 0 {
+			_, err = fmt.Fprintf(bw, "%d %d %s %d\n", r.Gap, r.Addr, op, r.Requester)
+		} else {
+			_, err = fmt.Fprintf(bw, "%d %d %s\n", r.Gap, r.Addr, op)
+		}
+		if err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
 }
 
-// Decode parses the text format produced by Encode.
+// Decode parses the text format produced by Encode: both v2 (with an
+// optional fourth requester field per record) and the original
+// un-versioned v1 format (three fields, Requester 0).
 func Decode(r io.Reader) (*Trace, error) {
 	t := &Trace{Name: "decoded"}
 	sc := bufio.NewScanner(r)
@@ -128,8 +147,8 @@ func Decode(r io.Reader) (*Trace, error) {
 			continue
 		}
 		fields := strings.Fields(line)
-		if len(fields) != 3 {
-			return nil, fmt.Errorf("trace: line %d: want 3 fields, got %d", lineNo, len(fields))
+		if len(fields) != 3 && len(fields) != 4 {
+			return nil, fmt.Errorf("trace: line %d: want 3 or 4 fields, got %d", lineNo, len(fields))
 		}
 		gap, err := strconv.Atoi(fields[0])
 		if err != nil || gap < 0 {
@@ -149,7 +168,14 @@ func Decode(r io.Reader) (*Trace, error) {
 		default:
 			return nil, fmt.Errorf("trace: line %d: bad op %q", lineNo, fields[2])
 		}
-		t.Records = append(t.Records, Record{Gap: gap, Addr: addr, Write: write, NoCache: noCache})
+		requester := 0
+		if len(fields) == 4 {
+			requester, err = strconv.Atoi(fields[3])
+			if err != nil || requester < 0 {
+				return nil, fmt.Errorf("trace: line %d: bad requester %q", lineNo, fields[3])
+			}
+		}
+		t.Records = append(t.Records, Record{Gap: gap, Addr: addr, Write: write, NoCache: noCache, Requester: requester})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

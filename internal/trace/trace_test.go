@@ -160,6 +160,74 @@ func TestEncodeDecodeUncachedRecords(t *testing.T) {
 	}
 }
 
+func TestEncodeDecodeRequesterRoundTrip(t *testing.T) {
+	orig := &Trace{
+		Name: "multi-source",
+		Records: []Record{
+			{Gap: 3, Addr: 64, Requester: 0},
+			{Gap: 0, Addr: 128, Write: true, Requester: 5},
+			{Gap: 7, Addr: 4096, NoCache: true, Requester: 2},
+			{Gap: 1, Addr: 192, Requester: 11},
+		},
+	}
+	var buf bytes.Buffer
+	if err := orig.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "v2") {
+		t.Errorf("encoded header lacks the v2 version tag:\n%s", buf.String())
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(orig.Records) {
+		t.Fatalf("records %d, want %d", len(got.Records), len(orig.Records))
+	}
+	for i := range got.Records {
+		if got.Records[i] != orig.Records[i] {
+			t.Fatalf("record %d = %+v, want %+v (requester lost?)", i, got.Records[i], orig.Records[i])
+		}
+	}
+	// A negative requester has no encoding.
+	bad := &Trace{Records: []Record{{Addr: 64, Requester: -1}}}
+	if err := bad.Encode(&bytes.Buffer{}); err == nil {
+		t.Error("negative requester encoded without error")
+	}
+}
+
+func TestDecodeLegacyV1Trace(t *testing.T) {
+	// A pre-requester trace: un-versioned header, three fields per line.
+	// It must decode exactly as before, with every requester zero.
+	legacy := "# trace old records=3 stride=128 span=1024\n" +
+		"4 64 R\n" +
+		"0 128 W\n" +
+		"63 4096 F\n"
+	tr, err := Decode(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "old" || tr.PassStride != 128 || tr.Span != 1024 {
+		t.Errorf("header lost: %+v", tr)
+	}
+	want := []Record{
+		{Gap: 4, Addr: 64},
+		{Gap: 0, Addr: 128, Write: true},
+		{Gap: 63, Addr: 4096, NoCache: true},
+	}
+	if len(tr.Records) != len(want) {
+		t.Fatalf("records %d, want %d", len(tr.Records), len(want))
+	}
+	for i := range want {
+		if tr.Records[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, tr.Records[i], want[i])
+		}
+		if tr.Records[i].Requester != 0 {
+			t.Errorf("record %d: legacy trace grew requester %d", i, tr.Records[i].Requester)
+		}
+	}
+}
+
 func TestDecodeRejectsMalformed(t *testing.T) {
 	cases := []string{
 		"1 2",             // missing op
@@ -169,6 +237,8 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 		"-1 2 R",          // negative gap
 		"1 -2 W",          // negative addr
 		"1 2 R extra bit", // too many fields
+		"1 2 R x",         // bad requester
+		"1 2 R -3",        // negative requester
 	}
 	for _, c := range cases {
 		if _, err := Decode(strings.NewReader(c)); err == nil {

@@ -200,7 +200,20 @@ func NewTWiCe(p MitigationParams, ideal bool) (Mechanism, error) {
 	return mitigation.NewTWiCe(p, ideal)
 }
 func NewIdealMechanism(p MitigationParams) (Mechanism, error) { return mitigation.NewIdeal(p) }
-func NewBlockHammer(p MitigationParams) (Mechanism, error)    { return mitigation.NewBlockHammer(p) }
+
+// NewBlockHammer builds the throttling defense with per-requester
+// RowBlocker-Req queue admission (a per-thread RowHammer likelihood index
+// decides who pays the blacklisted-row admission cost);
+// NewBlockHammerBlanket keeps the legacy requester-blind policy as the
+// comparison baseline. Both share the same RowBlocker-Act spacing, so the
+// security guarantee is identical.
+func NewBlockHammer(p MitigationParams) (Mechanism, error) { return mitigation.NewBlockHammer(p) }
+func NewBlockHammerBlanket(p MitigationParams) (Mechanism, error) {
+	return mitigation.NewBlockHammerBlanket(p)
+}
+
+// RequesterNone marks a memory request whose source thread is unknown.
+const RequesterNone = mitigation.RequesterNone
 
 // DDR4Timing returns the DDR4-2400 timing set used by the simulations.
 func DDR4Timing(rowsPerBank int) dram.Timing { return dram.DDR4_2400(rowsPerBank) }
@@ -265,6 +278,43 @@ func DefaultAttackOptions() AttackOptions { return core.DefaultAttackOptions() }
 // HCfirst) grid, reporting escaped flips, time to first flip and achieved
 // aggressor ACT rate alongside benign performance and bandwidth overhead.
 func RunAttackEval(o AttackOptions) (*AttackEval, error) { return core.RunAttackEval(o) }
+
+// REFWindow summarizes the command stream a HammerObserver saw between two
+// consecutive REF commands (the TRR sampling granularity).
+type REFWindow = attack.REFWindow
+
+// SchedulerID names a memory-controller scheduling policy of the sweep
+// runners' scheduler axis: the paper's FR-FCFS baseline or the
+// fairness-aware BLISS variant (per-requester service-streak
+// blacklisting).
+type SchedulerID = core.SchedulerID
+
+// Scheduler axis.
+const (
+	SchedFRFCFS = core.SchedFRFCFS
+	SchedBLISS  = core.SchedBLISS
+)
+
+// Schedulers lists the scheduler axis in evaluation order.
+func Schedulers() []SchedulerID { return core.Schedulers() }
+
+// ParetoOptions scales the combined security/overhead sweep; ParetoSweep
+// is its result and ParetoPoint one (mechanism, scheduler, HCfirst)
+// frontier candidate.
+type ParetoOptions = core.ParetoOptions
+type ParetoSweep = core.ParetoSweep
+type ParetoPoint = core.ParetoPoint
+
+// DefaultParetoOptions returns the CLI-scale Pareto sweep options.
+func DefaultParetoOptions() ParetoOptions { return core.DefaultParetoOptions() }
+
+// RunParetoSweep evaluates the (mechanism × scheduler × HCfirst) grid
+// under every attack pattern plus one attacker-free run, aggregating
+// worst-case escaped flips against worst-case benign throughput into
+// frontier points per HCfirst — the BlockHammer paper's Figure 11 shape,
+// generalized with a scheduler axis. Results are bit-identical for any
+// Parallelism.
+func RunParetoSweep(o ParetoOptions) (*ParetoSweep, error) { return core.RunParetoSweep(o) }
 
 // --- DRAM substrate ------------------------------------------------------
 
