@@ -2,8 +2,13 @@
 // attacker+benign cycle-accurate simulations over a (mechanism × attack
 // pattern × HCfirst) grid, with the fault model coupled to the memory
 // controller's command stream. It reports security outcomes (escaped bit
-// flips, time to first flip, achieved aggressor ACT rate) alongside
-// benign performance under attack and DRAM bandwidth overhead.
+// flips, time to first flip, achieved aggressor ACT rate, the attacker's
+// DRAM bus share) alongside benign performance under attack and DRAM
+// bandwidth overhead.
+//
+// rhattack is a flag front end over the "attack" experiment of the
+// declarative registry: -emit-spec prints the equivalent spec, which
+// `rhx run` executes (or shards) identically.
 //
 // Usage:
 //
@@ -12,6 +17,7 @@
 //	rhattack -patterns double-sided,scattered
 //	rhattack -cycles 1000000 -rows 4096       # quick, small system
 //	rhattack -catalog                         # print the pattern catalog
+//	rhattack -emit-spec > attack.json         # then: rhx run -spec attack.json -shard 0/4 …
 package main
 
 import (
@@ -36,6 +42,20 @@ var catalog = []struct {
 	{attack.Decoy, "double-sided interleaved with random far-row reads; pollutes frequency trackers"},
 }
 
+// parseInts splits a comma-separated int list.
+func parseInts(prog, flagName, v string) []int {
+	var out []int
+	for _, s := range strings.Split(v, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "%s: bad %s value %q\n", prog, flagName, s)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
 func main() {
 	d := core.DefaultAttackOptions()
 	var (
@@ -53,6 +73,7 @@ func main() {
 		parallel    = flag.Int("parallel", 0, "concurrent simulations (0 = all cores; output is identical for any value)")
 		seed        = flag.Uint64("seed", d.Seed, "evaluation seed")
 		showCatalog = flag.Bool("catalog", false, "print the attack pattern catalog and exit")
+		emitSpec    = flag.Bool("emit-spec", false, "print the experiment spec JSON instead of running it")
 	)
 	flag.Parse()
 
@@ -64,43 +85,54 @@ func main() {
 		return
 	}
 
-	o := core.AttackOptions{
+	p := core.AttackParams{
+		Scheduler:    core.SchedulerID(*sched),
 		BenignCores:  *benign,
 		TraceRecords: *records,
 		MemCycles:    *cycles,
 		Rows:         *rows,
-		Scheduler:    core.SchedulerID(*sched),
 		ECC:          *ecc,
-		Parallelism:  *parallel,
-		Seed:         *seed,
 	}
-	o.AttackSpec.DutyCycle = *duty
-	o.AttackSpec.Phase = *phase
+	if *duty != 0 || *phase != 0 {
+		p.Attack = &attack.Spec{DutyCycle: *duty, Phase: *phase}
+	}
 	if *patternsStr != "" {
-		for _, p := range strings.Split(*patternsStr, ",") {
-			o.Patterns = append(o.Patterns, attack.Kind(strings.TrimSpace(p)))
+		for _, s := range strings.Split(*patternsStr, ",") {
+			p.Patterns = append(p.Patterns, attack.Kind(strings.TrimSpace(s)))
 		}
 	}
 	if *mechsStr != "" {
 		for _, m := range strings.Split(*mechsStr, ",") {
-			o.Mechanisms = append(o.Mechanisms, core.MechanismID(strings.TrimSpace(m)))
+			p.Mechanisms = append(p.Mechanisms, core.MechanismID(strings.TrimSpace(m)))
 		}
 	}
 	if *hcStr != "" {
-		for _, s := range strings.Split(*hcStr, ",") {
-			hc, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || hc <= 0 {
-				fmt.Fprintf(os.Stderr, "rhattack: bad HCfirst value %q\n", s)
-				os.Exit(2)
-			}
-			o.HCSweep = append(o.HCSweep, hc)
-		}
+		p.HCSweep = parseInts("rhattack", "HCfirst", *hcStr)
 	}
 
-	ev, err := core.RunAttackEval(o)
+	spec, err := core.NewSpec("attack", *seed, p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhattack: %v\n", err)
+		os.Exit(2)
+	}
+	if *emitSpec {
+		data, err := spec.Encode()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rhattack: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(data)
+		return
+	}
+	res, err := core.RunWith(spec, core.Exec{Parallelism: *parallel})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rhattack: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Println(ev.Format())
+	out, err := res.Format()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhattack: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(out)
 }

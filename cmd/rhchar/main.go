@@ -1,6 +1,10 @@
 // Command rhchar runs the paper's characterization experiments (Tables
 // 1–5, 7, 8 and Figures 4–9) against the simulated chip population and
-// prints the corresponding table or figure data.
+// prints the corresponding table or figure data. It is a flag-friendly
+// front end over the declarative experiment registry: every invocation
+// builds an ExperimentSpec and executes it through the same Run path as
+// `rhx run`, so any rhchar run can be reproduced (or sharded across
+// machines) from the spec that -emit-spec prints.
 //
 // Usage:
 //
@@ -8,10 +12,7 @@
 //	rhchar -table 4 -scale medium
 //	rhchar -figure 6 -chips 8 -stride 2
 //	rhchar -figure 8 -parallel 4
-//
-// Experiments fan out over the chip grid on the deterministic parallel
-// engine (internal/engine): -parallel changes wall-clock time only, never
-// the output.
+//	rhchar -figure 5 -emit-spec > fig5.json   # then: rhx run -spec fig5.json
 package main
 
 import (
@@ -19,7 +20,6 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/chips"
 	"repro/internal/core"
 )
 
@@ -34,32 +34,43 @@ func main() {
 		iters    = flag.Int("iters", 0, "iterations for repeated experiments (0 = paper defaults)")
 		parallel = flag.Int("parallel", 0, "concurrent chip experiments (0 = all cores; output is identical for any value)")
 		seed     = flag.Uint64("seed", 1, "population seed")
+		emitSpec = flag.Bool("emit-spec", false, "print the experiment spec JSON instead of running it")
 	)
 	flag.Parse()
 
-	o := core.Options{
-		Stride:            *stride,
-		MaxChipsPerConfig: *nChips,
-		Iterations:        *iters,
-		Parallelism:       *parallel,
-		Seed:              *seed,
+	params := core.CharParams{
+		Scale:      *scale,
+		Stride:     *stride,
+		Iterations: *iters,
 	}
-	switch *scale {
-	case "tiny":
-		o.Scale = chips.ScaleTiny
-	case "small":
-		o.Scale = chips.ScaleSmall
-	case "medium":
-		o.Scale = chips.ScaleMedium
-	case "full":
-		o.Scale = chips.ScaleFull
+	switch {
+	case *nChips == 0:
+		params.Chips = -1 // uncapped
 	default:
-		fmt.Fprintf(os.Stderr, "rhchar: unknown scale %q\n", *scale)
-		os.Exit(2)
+		params.Chips = *nChips
 	}
 
-	run := func(name string, fn func() (string, error)) {
-		out, err := fn()
+	run := func(name string) {
+		spec, err := core.NewSpec(name, *seed, params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rhchar: %s: %v\n", name, err)
+			os.Exit(2)
+		}
+		if *emitSpec {
+			data, err := spec.Encode()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rhchar: %v\n", err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(data)
+			return
+		}
+		res, err := core.RunWith(spec, core.Exec{Parallelism: *parallel})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rhchar: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		out, err := res.Format()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rhchar: %s: %v\n", name, err)
 			os.Exit(1)
@@ -67,113 +78,33 @@ func main() {
 		fmt.Println(out)
 	}
 
-	artifacts := map[string]func() (string, error){
-		"table1": func() (string, error) {
-			t, err := core.RunTable1(o)
-			if err != nil {
-				return "", err
-			}
-			return t.Format(), nil
-		},
-		"table2": func() (string, error) {
-			t, err := core.RunTable2(o)
-			if err != nil {
-				return "", err
-			}
-			return t.Format(), nil
-		},
-		"table3": func() (string, error) {
-			t, err := core.RunTable3(o)
-			if err != nil {
-				return "", err
-			}
-			return t.Format(), nil
-		},
-		"table4": func() (string, error) {
-			s, err := core.RunHCFirstStudy(o)
-			if err != nil {
-				return "", err
-			}
-			return s.FormatTable4(), nil
-		},
-		"table5": func() (string, error) {
-			t, err := core.RunTable5(o)
-			if err != nil {
-				return "", err
-			}
-			return t.Format(), nil
-		},
-		"table7": func() (string, error) { return core.RunTable7().Format(), nil },
-		"table8": func() (string, error) { return core.RunTable8().Format(), nil },
-		"figure4": func() (string, error) {
-			f, err := core.RunFigure4(o)
-			if err != nil {
-				return "", err
-			}
-			return f.Format(), nil
-		},
-		"figure5": func() (string, error) {
-			f, err := core.RunFigure5(o)
-			if err != nil {
-				return "", err
-			}
-			return f.Format(), nil
-		},
-		"figure6": func() (string, error) {
-			f, err := core.RunFigure6(o)
-			if err != nil {
-				return "", err
-			}
-			return f.Format(), nil
-		},
-		"figure7": func() (string, error) {
-			f, err := core.RunFigure7(o)
-			if err != nil {
-				return "", err
-			}
-			return f.Format(), nil
-		},
-		"figure8": func() (string, error) {
-			s, err := core.RunHCFirstStudy(o)
-			if err != nil {
-				return "", err
-			}
-			return s.FormatFigure8(), nil
-		},
-		"figure9": func() (string, error) {
-			f, err := core.RunFigure9(o)
-			if err != nil {
-				return "", err
-			}
-			return f.Format(), nil
-		},
-	}
-
-	order := []string{"table1", "table2", "figure4", "table3", "figure5",
-		"figure6", "figure7", "figure8", "table4", "figure9", "table5",
+	order := []string{"table1", "table2", "fig4", "table3", "fig5",
+		"fig6", "fig7", "fig8", "table4", "fig9", "table5",
 		"table7", "table8"}
+	valid := map[string]bool{}
+	for _, n := range order {
+		valid[n] = true
+	}
 
 	switch {
 	case *all:
 		for _, name := range order {
-			run(name, artifacts[name])
+			run(name)
 		}
 	case *tableN != 0:
 		name := fmt.Sprintf("table%d", *tableN)
-		fn, ok := artifacts[name]
-		if !ok {
+		if !valid[name] {
 			fmt.Fprintf(os.Stderr, "rhchar: no such table %d\n", *tableN)
 			os.Exit(2)
 		}
-		run(name, fn)
+		run(name)
 	case *figureN != 0:
-		name := fmt.Sprintf("figure%d", *figureN)
-		fn, ok := artifacts[name]
-		if !ok {
+		name := fmt.Sprintf("fig%d", *figureN)
+		if !valid[name] {
 			fmt.Fprintf(os.Stderr, "rhchar: no such figure %d\n", *figureN)
 			os.Exit(2)
 		}
-		run(name, fn)
+		run(name)
 	default:
 		flag.Usage()
 		os.Exit(2)

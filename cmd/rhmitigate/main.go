@@ -2,6 +2,11 @@
 // (Figure 10): cycle-accurate simulation of multi-programmed mixes under
 // every mechanism across an HCfirst sweep.
 //
+// rhmitigate is a flag front end over the "fig10" experiment of the
+// declarative registry: -emit-spec prints the equivalent spec, which
+// `rhx run` executes (or shards the (mechanism × HCfirst) grid of)
+// identically.
+//
 // Usage:
 //
 //	rhmitigate                       # default sweep, 48 mixes
@@ -33,6 +38,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = all cores; output is identical for any value)")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		showCfg  = flag.Bool("config", false, "print the simulated system configuration (Table 6) and exit")
+		emitSpec = flag.Bool("emit-spec", false, "print the experiment spec JSON instead of running it")
 	)
 	flag.Parse()
 
@@ -41,18 +47,16 @@ func main() {
 		return
 	}
 
-	o := core.MitigationOptions{
+	p := core.Fig10Params{
 		Mixes:        *mixes,
 		Cores:        *cores,
 		TraceRecords: *records,
 		WarmupInsts:  *warmup,
 		MeasureInsts: *insts,
-		Parallelism:  *parallel,
-		Seed:         *seed,
 	}
 	if *mechsStr != "" {
 		for _, m := range strings.Split(*mechsStr, ",") {
-			o.Mechanisms = append(o.Mechanisms, core.MechanismID(strings.TrimSpace(m)))
+			p.Mechanisms = append(p.Mechanisms, core.MechanismID(strings.TrimSpace(m)))
 		}
 	}
 	if *hcStr != "" {
@@ -62,16 +66,35 @@ func main() {
 				fmt.Fprintf(os.Stderr, "rhmitigate: bad HCfirst value %q\n", s)
 				os.Exit(2)
 			}
-			o.HCSweep = append(o.HCSweep, hc)
+			p.HCSweep = append(p.HCSweep, hc)
 		}
 	}
 
-	fig, err := core.RunFigure10(o)
+	spec, err := core.NewSpec("fig10", *seed, p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhmitigate: %v\n", err)
+		os.Exit(2)
+	}
+	if *emitSpec {
+		data, err := spec.Encode()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rhmitigate: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(data)
+		return
+	}
+	res, err := core.RunWith(spec, core.Exec{Parallelism: *parallel})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rhmitigate: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Println(fig.Format())
+	out, err := res.Format()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhmitigate: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(out)
 }
 
 func printTable6() {

@@ -5,11 +5,20 @@
 // HCfirst. It is the experiment that answers "which defense + scheduler
 // combination buys the most security for the least benign cost?".
 //
+// The BLISS scheduler's streak threshold and clearing interval are sweep
+// axes: -bliss-streaks/-bliss-clears evaluate every combination, mapping
+// the fairness/throughput trade-off.
+//
+// rhpareto is a flag front end over the "pareto" experiment of the
+// declarative registry: -emit-spec prints the equivalent spec, which
+// `rhx run` executes (or shards) identically.
+//
 // Usage:
 //
 //	rhpareto                                       # default grid
-//	rhpareto -mechs BlockHammer,BlockHammer-blanket -scheds FR-FCFS,BLISS
+//	rhpareto -mechs BlockHammer,BlockHammer-binary -scheds FR-FCFS,BLISS
 //	rhpareto -patterns decoy -hc 512 -cycles 1000000 -rows 4096
+//	rhpareto -scheds BLISS -bliss-streaks 2,4,8 -bliss-clears 5000,10000
 //	rhpareto -ecc                                  # LPDDR4-like on-die ECC chips
 //	rhpareto -duty 0.5 -phase 0.25                 # refresh-pause-aware streams
 package main
@@ -25,66 +34,101 @@ import (
 	"repro/internal/core"
 )
 
+func parseInts(flagName, v string) []int {
+	var out []int
+	for _, s := range strings.Split(v, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "rhpareto: bad %s value %q\n", flagName, s)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
 func main() {
 	d := core.DefaultParetoOptions()
 	var (
-		mechsStr    = flag.String("mechs", "", "comma-separated mechanisms (default: None,PARA,BlockHammer-blanket,BlockHammer,Ideal)")
-		schedsStr   = flag.String("scheds", "", "comma-separated schedulers (default: FR-FCFS,BLISS)")
-		patternsStr = flag.String("patterns", "", "comma-separated attack patterns (default: double-sided,decoy)")
-		hcStr       = flag.String("hc", "", "comma-separated HCfirst grid points (default: 4800,512)")
-		benign      = flag.Int("benign", d.BenignCores, "benign cores sharing the system with the attacker")
-		records     = flag.Int("records", d.TraceRecords, "memory records per benign trace")
-		cycles      = flag.Int64("cycles", d.MemCycles, "attack duration in memory-clock cycles")
-		rows        = flag.Int("rows", 0, "rows per bank (0 = Table 6's 16384)")
-		ecc         = flag.Bool("ecc", false, "evaluate LPDDR4-like chips with on-die ECC (post-correction flips + raw counts)")
-		duty        = flag.Float64("duty", 0, "attacker duty cycle in (0,1): hammer this fraction of each refresh interval, idle the rest")
-		phase       = flag.Float64("phase", 0, "attacker phase in (0,1): shift the bursts within each refresh interval by this fraction (with -duty)")
-		parallel    = flag.Int("parallel", 0, "concurrent simulations (0 = all cores; output is identical for any value)")
-		seed        = flag.Uint64("seed", d.Seed, "evaluation seed")
+		mechsStr     = flag.String("mechs", "", "comma-separated mechanisms (default: None,PARA,BlockHammer-blanket,BlockHammer,Ideal)")
+		schedsStr    = flag.String("scheds", "", "comma-separated schedulers (default: FR-FCFS,BLISS)")
+		patternsStr  = flag.String("patterns", "", "comma-separated attack patterns (default: double-sided,decoy)")
+		hcStr        = flag.String("hc", "", "comma-separated HCfirst grid points (default: 4800,512)")
+		blissStreaks = flag.String("bliss-streaks", "", "comma-separated BLISS streak thresholds to sweep (default: controller default 4)")
+		blissClears  = flag.String("bliss-clears", "", "comma-separated BLISS clearing intervals in memory cycles (default: controller default 10000)")
+		benign       = flag.Int("benign", d.BenignCores, "benign cores sharing the system with the attacker")
+		records      = flag.Int("records", d.TraceRecords, "memory records per benign trace")
+		cycles       = flag.Int64("cycles", d.MemCycles, "attack duration in memory-clock cycles")
+		rows         = flag.Int("rows", 0, "rows per bank (0 = Table 6's 16384)")
+		ecc          = flag.Bool("ecc", false, "evaluate LPDDR4-like chips with on-die ECC (post-correction flips + raw counts)")
+		duty         = flag.Float64("duty", 0, "attacker duty cycle in (0,1): hammer this fraction of each refresh interval, idle the rest")
+		phase        = flag.Float64("phase", 0, "attacker phase in (0,1): shift the bursts within each refresh interval by this fraction (with -duty)")
+		parallel     = flag.Int("parallel", 0, "concurrent simulations (0 = all cores; output is identical for any value)")
+		seed         = flag.Uint64("seed", d.Seed, "evaluation seed")
+		emitSpec     = flag.Bool("emit-spec", false, "print the experiment spec JSON instead of running it")
 	)
 	flag.Parse()
 
-	o := core.ParetoOptions{
+	p := core.ParetoParams{
 		BenignCores:  *benign,
 		TraceRecords: *records,
 		MemCycles:    *cycles,
 		Rows:         *rows,
 		ECC:          *ecc,
-		Parallelism:  *parallel,
-		Seed:         *seed,
 	}
-	o.AttackSpec.DutyCycle = *duty
-	o.AttackSpec.Phase = *phase
+	if *duty != 0 || *phase != 0 {
+		p.Attack = &attack.Spec{DutyCycle: *duty, Phase: *phase}
+	}
 	if *mechsStr != "" {
 		for _, m := range strings.Split(*mechsStr, ",") {
-			o.Mechanisms = append(o.Mechanisms, core.MechanismID(strings.TrimSpace(m)))
+			p.Mechanisms = append(p.Mechanisms, core.MechanismID(strings.TrimSpace(m)))
 		}
 	}
 	if *schedsStr != "" {
 		for _, s := range strings.Split(*schedsStr, ",") {
-			o.Schedulers = append(o.Schedulers, core.SchedulerID(strings.TrimSpace(s)))
+			p.Schedulers = append(p.Schedulers, core.SchedulerID(strings.TrimSpace(s)))
 		}
 	}
 	if *patternsStr != "" {
-		for _, p := range strings.Split(*patternsStr, ",") {
-			o.Patterns = append(o.Patterns, attack.Kind(strings.TrimSpace(p)))
+		for _, s := range strings.Split(*patternsStr, ",") {
+			p.Patterns = append(p.Patterns, attack.Kind(strings.TrimSpace(s)))
 		}
 	}
 	if *hcStr != "" {
-		for _, s := range strings.Split(*hcStr, ",") {
-			hc, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || hc <= 0 {
-				fmt.Fprintf(os.Stderr, "rhpareto: bad HCfirst value %q\n", s)
-				os.Exit(2)
-			}
-			o.HCSweep = append(o.HCSweep, hc)
+		p.HCSweep = parseInts("HCfirst", *hcStr)
+	}
+	if *blissStreaks != "" {
+		p.BLISSStreaks = parseInts("bliss-streaks", *blissStreaks)
+	}
+	if *blissClears != "" {
+		for _, n := range parseInts("bliss-clears", *blissClears) {
+			p.BLISSClears = append(p.BLISSClears, int64(n))
 		}
 	}
 
-	sweep, err := core.RunParetoSweep(o)
+	spec, err := core.NewSpec("pareto", *seed, p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhpareto: %v\n", err)
+		os.Exit(2)
+	}
+	if *emitSpec {
+		data, err := spec.Encode()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rhpareto: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(data)
+		return
+	}
+	res, err := core.RunWith(spec, core.Exec{Parallelism: *parallel})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rhpareto: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Println(sweep.Format())
+	out, err := res.Format()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhpareto: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(out)
 }

@@ -1,7 +1,8 @@
 // Command rhreport runs the complete reproduction — every
 // characterization table/figure plus the mitigation evaluation — and
 // emits one consolidated report, suitable for regenerating
-// EXPERIMENTS.md's measured columns.
+// EXPERIMENTS.md's measured columns. Every section is a spec executed
+// through the experiment registry, the same path `rhx run` uses.
 //
 // Usage:
 //
@@ -16,7 +17,6 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/chips"
 	"repro/internal/core"
 )
 
@@ -29,113 +29,71 @@ func main() {
 	)
 	flag.Parse()
 
-	o := core.Options{Scale: chips.ScaleSmall, MaxChipsPerConfig: 4, Parallelism: *parallel, Seed: *seed}
-	mo := core.MitigationOptions{
+	cp := core.CharParams{Scale: "small", Chips: 4}
+	mp := core.Fig10Params{
 		Mixes: 12, Cores: 8, TraceRecords: 3000,
-		WarmupInsts: 5000, MeasureInsts: 30000, Parallelism: *parallel, Seed: *seed,
+		WarmupInsts: 5000, MeasureInsts: 30000,
 	}
 	switch {
 	case *quick:
-		o.Scale = chips.ScaleTiny
-		o.MaxChipsPerConfig = 1
-		o.Iterations = 3
-		o.Stride = 2
-		mo.Mixes = 2
-		mo.Cores = 4
-		mo.MeasureInsts = 10000
-		mo.HCSweep = []int{100_000, 2_000, 256}
+		cp = core.CharParams{Scale: "tiny", Chips: 1, Iterations: 3, Stride: 2}
+		mp.Mixes = 2
+		mp.Cores = 4
+		mp.MeasureInsts = 10000
+		mp.HCSweep = []int{100_000, 2_000, 256}
 	case *full:
-		o.Scale = chips.ScaleMedium
-		o.MaxChipsPerConfig = 0
-		mo = core.DefaultMitigationOptions()
-		mo.Parallelism = *parallel
-		mo.Seed = *seed
+		cp = core.CharParams{Scale: "medium", Chips: -1}
+		mp = core.Fig10Params{} // registry defaults = the paper's full sweep
 	}
+	ex := core.Exec{Parallelism: *parallel}
 
-	start := time.Now()
-	section := func(name string, fn func() (string, error)) {
-		t0 := time.Now()
-		out, err := fn()
+	// runSpec executes one named experiment and returns its artifact.
+	runSpec := func(name string, params any) core.Artifact {
+		spec, err := core.NewSpec(name, *seed, params)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rhreport: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Println(out)
+		res, err := core.RunWith(spec, ex)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rhreport: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		art, err := res.Artifact()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rhreport: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		return art
+	}
+
+	start := time.Now()
+	section := func(name string, fn func() string) {
+		t0 := time.Now()
+		fmt.Println(fn())
 		fmt.Printf("  [%s in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
 	}
 
 	fmt.Println("=== RowHammer revisited: reproduction report ===")
 	fmt.Println()
-	section("table1", func() (string, error) {
-		t, err := core.RunTable1(o)
-		if err != nil {
-			return "", err
-		}
-		return t.Format(), nil
-	})
-	section("table2", func() (string, error) {
-		t, err := core.RunTable2(o)
-		if err != nil {
-			return "", err
-		}
-		return t.Format(), nil
-	})
-	section("figure4+table3", func() (string, error) {
-		f, err := core.RunFigure4(o)
-		if err != nil {
-			return "", err
-		}
+	section("table1", func() string { return runSpec("table1", cp).Format() })
+	section("table2", func() string { return runSpec("table2", cp).Format() })
+	section("figure4+table3", func() string {
+		// Table 3 is a different rendering of Figure 4's cells; run the
+		// grid once and derive both views.
+		f := runSpec("fig4", cp).(*core.Figure4)
 		t3 := &core.Table3{Rows: f.Rows}
-		return f.Format() + "\n" + t3.Format(), nil
+		return f.Format() + "\n" + t3.Format()
 	})
-	section("figure5", func() (string, error) {
-		f, err := core.RunFigure5(o)
-		if err != nil {
-			return "", err
-		}
-		return f.Format(), nil
+	section("figure5", func() string { return runSpec("fig5", cp).Format() })
+	section("figure6", func() string { return runSpec("fig6", cp).Format() })
+	section("figure7", func() string { return runSpec("fig7", cp).Format() })
+	section("figure8+table4", func() string {
+		s := runSpec("fig8", cp).(*core.Figure8)
+		return s.FormatFigure8() + "\n" + s.FormatTable4()
 	})
-	section("figure6", func() (string, error) {
-		f, err := core.RunFigure6(o)
-		if err != nil {
-			return "", err
-		}
-		return f.Format(), nil
-	})
-	section("figure7", func() (string, error) {
-		f, err := core.RunFigure7(o)
-		if err != nil {
-			return "", err
-		}
-		return f.Format(), nil
-	})
-	section("figure8+table4", func() (string, error) {
-		s, err := core.RunHCFirstStudy(o)
-		if err != nil {
-			return "", err
-		}
-		return s.FormatFigure8() + "\n" + s.FormatTable4(), nil
-	})
-	section("figure9", func() (string, error) {
-		f, err := core.RunFigure9(o)
-		if err != nil {
-			return "", err
-		}
-		return f.Format(), nil
-	})
-	section("table5", func() (string, error) {
-		t, err := core.RunTable5(o)
-		if err != nil {
-			return "", err
-		}
-		return t.Format(), nil
-	})
-	section("figure10", func() (string, error) {
-		f, err := core.RunFigure10(mo)
-		if err != nil {
-			return "", err
-		}
-		return f.Format(), nil
-	})
+	section("figure9", func() string { return runSpec("fig9", cp).Format() })
+	section("table5", func() string { return runSpec("table5", cp).Format() })
+	section("figure10", func() string { return runSpec("fig10", mp).Format() })
 	fmt.Printf("=== report complete in %v ===\n", time.Since(start).Round(time.Second))
 }

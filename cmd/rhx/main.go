@@ -1,0 +1,280 @@
+// Command rhx is the unified experiment runner over the declarative
+// experiment API: every paper artifact and post-paper evaluation is a
+// named experiment resolved through a registry, described by one
+// JSON-serializable spec (name + params + seed + shard), and produces a
+// mergeable result. Shards of one spec can run on different machines;
+// merging their outputs reproduces the single-process result byte for
+// byte.
+//
+// Usage:
+//
+//	rhx list                                  # registry + default params
+//	rhx run -name attack                      # defaults, print report
+//	rhx run -spec spec.json -out full.json    # spec file → result JSON
+//	rhx run -spec spec.json -shard 0/2 -out part0.json
+//	rhx run -spec spec.json -shard 1/2 -out part1.json
+//	rhx merge -out merged.json part0.json part1.json
+//	rhx merge -format part*.json              # merge and print the report
+//	rhx fmt merged.json                       # render a stored result
+//	rhx spec -name pareto                     # emit a template spec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "merge":
+		err = cmdMerge(os.Args[2:])
+	case "fmt":
+		err = cmdFmt(os.Args[2:])
+	case "spec":
+		err = cmdSpec(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "rhx: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhx: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  rhx list                               list registered experiments
+  rhx run   [-spec f|-name n] [flags]    run (a shard of) an experiment
+  rhx merge [-out f] [-format] part...   merge shard results
+  rhx fmt   result.json                  render a stored result
+  rhx spec  -name n [-seed s]            emit a template spec`)
+}
+
+// loadSpec resolves -spec/-name/-seed/-shard into a validated spec.
+func loadSpec(specPath, name string, seed uint64, shardStr string) (core.ExperimentSpec, error) {
+	var spec core.ExperimentSpec
+	switch {
+	case specPath != "" && name != "":
+		return spec, fmt.Errorf("give either -spec or -name, not both")
+	case specPath != "":
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return spec, err
+		}
+		spec, err = core.DecodeSpec(data)
+		if err != nil {
+			return spec, err
+		}
+	case name != "":
+		s, err := core.NewSpec(name, seed, nil)
+		if err != nil {
+			return spec, err
+		}
+		spec = s
+	default:
+		return spec, fmt.Errorf("need -spec file or -name experiment (try `rhx list`)")
+	}
+	if seed != 0 {
+		spec.Seed = seed
+	}
+	if shardStr != "" {
+		shard, err := core.ParseShard(shardStr)
+		if err != nil {
+			return spec, err
+		}
+		spec.Shard = shard
+	}
+	return spec, spec.Validate()
+}
+
+// writeOut writes data to path, or stdout for "".
+func writeOut(path string, data []byte) error {
+	if path == "" || path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("rhx list", flag.ExitOnError)
+	verbose := fs.Bool("v", false, "include each experiment's default params JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, e := range core.Experiments() {
+		fmt.Printf("%-8s %s\n", e.Name, e.Description)
+		if *verbose {
+			fmt.Printf("         params: %s\n", e.DefaultParams)
+		}
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("rhx run", flag.ExitOnError)
+	var (
+		specPath = fs.String("spec", "", "spec JSON file (\"-\" reads stdin is not supported; use a file)")
+		name     = fs.String("name", "", "run a registered experiment with default params")
+		seed     = fs.Uint64("seed", 0, "override the spec's seed (0 keeps it)")
+		shardStr = fs.String("shard", "", "run one shard, as index/count (e.g. 2/8)")
+		out      = fs.String("out", "", "write the result JSON here (default: only the report is printed)")
+		format   = fs.Bool("format", false, "also print the formatted report (complete results only)")
+		parallel = fs.Int("parallel", 0, "concurrent tasks (0 = all cores; never affects results)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := loadSpec(*specPath, *name, *seed, *shardStr)
+	if err != nil {
+		return err
+	}
+	res, err := core.RunWith(spec, core.Exec{Parallelism: *parallel})
+	if err != nil {
+		return err
+	}
+	wantFormat := *format || *out == ""
+	if *out != "" {
+		data, err := res.Encode()
+		if err != nil {
+			return err
+		}
+		if err := writeOut(*out, data); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "rhx: %s shard %s: %d/%d tasks → %s\n",
+			spec.Name, spec.Shard, len(res.Cells), res.Tasks, *out)
+	}
+	if wantFormat {
+		if !res.Complete() {
+			if *out == "" {
+				return fmt.Errorf("shard %s covers %d/%d tasks; pass -out to save it for merging",
+					spec.Shard, len(res.Cells), res.Tasks)
+			}
+			return nil
+		}
+		text, err := res.Format()
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+	}
+	return nil
+}
+
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("rhx merge", flag.ExitOnError)
+	var (
+		out    = fs.String("out", "", "write the merged result JSON here")
+		format = fs.Bool("format", false, "print the formatted report after merging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return fmt.Errorf("merge needs at least one result file")
+	}
+	var parts []*core.Result
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		r, err := core.DecodeResult(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		parts = append(parts, r)
+	}
+	merged, err := core.MergeResults(parts...)
+	if err != nil {
+		return err
+	}
+	if !merged.Complete() {
+		fmt.Fprintf(os.Stderr, "rhx: warning: merged result covers %d/%d tasks (missing shards?)\n",
+			len(merged.Cells), merged.Tasks)
+	}
+	if *out != "" {
+		data, err := merged.Encode()
+		if err != nil {
+			return err
+		}
+		if err := writeOut(*out, data); err != nil {
+			return err
+		}
+	}
+	if *format || *out == "" {
+		text, err := merged.Format()
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+	}
+	return nil
+}
+
+func cmdFmt(args []string) error {
+	fs := flag.NewFlagSet("rhx fmt", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("fmt needs exactly one result file")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	res, err := core.DecodeResult(data)
+	if err != nil {
+		return err
+	}
+	text, err := res.Format()
+	if err != nil {
+		return err
+	}
+	fmt.Println(text)
+	return nil
+}
+
+func cmdSpec(args []string) error {
+	fs := flag.NewFlagSet("rhx spec", flag.ExitOnError)
+	var (
+		name = fs.String("name", "", "experiment name")
+		seed = fs.Uint64("seed", 1, "seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("spec needs -name (try `rhx list`)")
+	}
+	spec, err := core.NewSpec(*name, *seed, nil)
+	if err != nil {
+		return err
+	}
+	data, err := spec.Encode()
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(data)
+	return err
+}

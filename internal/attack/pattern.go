@@ -48,44 +48,46 @@ func Kinds() []Kind {
 }
 
 // Spec parameterizes one synthesized attack stream. The zero Spec plus a
-// Kind is valid; normalized() fills the per-kind defaults.
+// Kind is valid; normalized() fills the per-kind defaults. Specs are
+// JSON-serializable so the experiment layer can carry attacker pacing
+// inside declarative experiment specs.
 type Spec struct {
-	Kind Kind
+	Kind Kind `json:"kind,omitempty"`
 
 	// Sides is the aggressor count for ManySided (default 8).
-	Sides int
+	Sides int `json:"sides,omitempty"`
 	// Banks is the bank spread for Scattered (default 4, clamped to the
 	// geometry).
-	Banks int
+	Banks int `json:"banks,omitempty"`
 	// DecoyRatio is the fraction of accesses aimed at decoy rows for
 	// Decoy (default 0.5).
-	DecoyRatio float64
+	DecoyRatio float64 `json:"decoy_ratio,omitempty"`
 	// Gap is the non-memory instruction count between accesses; it sets
 	// the attacker's memory-level parallelism through the core's
 	// instruction window (window/(Gap+1) outstanding loads).
-	Gap int
+	Gap int `json:"gap,omitempty"`
 	// Records is the memory-record count of one trace pass (replayed
 	// cyclically; default 2048).
-	Records int
+	Records int `json:"records,omitempty"`
 
 	// DutyCycle in (0,1) paces the stream against the refresh interval:
 	// the attacker hammers for DutyCycle×PeriodCycles, then idles through
 	// the rest of the period in non-memory instructions — the structure
 	// real refresh-synchronized attacks use to dodge TRR sampling windows
 	// around REF commands. 0 (the default) or ≥1 hammers continuously.
-	DutyCycle float64
+	DutyCycle float64 `json:"duty_cycle,omitempty"`
 	// Phase in (0,1) shifts where within each period the burst falls (the
 	// first burst is shortened by Phase of a burst, moving every later
 	// burst boundary by the same amount). Only meaningful together with
 	// DutyCycle pacing: the shift is part of the periodic structure, so
 	// it survives the trace's cyclic replay instead of re-applying a
 	// one-time delay every pass.
-	Phase float64
+	Phase float64 `json:"phase,omitempty"`
 	// PeriodCycles is the pacing period in memory-clock cycles (default:
 	// the DDR4-2400 tREFI, 9363).
-	PeriodCycles int64
+	PeriodCycles int64 `json:"period_cycles,omitempty"`
 
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 }
 
 // Burst pacing converts memory-clock cycles into trace structure through

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
@@ -132,6 +133,11 @@ type AttackPoint struct {
 	// ThrottleStallCycles approximates memory cycles in which a throttling
 	// mechanism held back a schedulable request.
 	ThrottleStallCycles int64
+	// AttackerBusPct is the attacker's share of demand DRAM bus/bank time
+	// (per-requester occupancy attribution): how much of the memory
+	// system's demand service the attack monopolized. 0 in benign-only
+	// cells.
+	AttackerBusPct float64
 }
 
 // AttackEval is the full grid result.
@@ -143,19 +149,76 @@ type AttackEval struct {
 	ECC       bool
 }
 
-// RunAttackEval evaluates every (mechanism, pattern, HCfirst) grid point.
-// Phase 1 measures the benign cores alone (no attacker, no mitigation) as
-// the performance baseline; phase 2 fans the grid out over the experiment
-// engine, so results are bit-identical for any Parallelism.
-func RunAttackEval(o AttackOptions) (*AttackEval, error) {
-	o = o.normalized()
-	cfg := attackSimCfg(o.MemCycles, o.Rows)
-	benign, baseIPC, base, err := benignBaseline(cfg, o.BenignCores, o.TraceRecords, o.Seed)
-	if err != nil {
-		return nil, fmt.Errorf("attack eval %w", err)
-	}
+// AttackParams is the declarative (spec) form of AttackOptions.
+type AttackParams struct {
+	Patterns      []attack.Kind `json:"patterns,omitempty"`
+	Mechanisms    []MechanismID `json:"mechanisms,omitempty"`
+	HCSweep       []int         `json:"hc,omitempty"`
+	Scheduler     SchedulerID   `json:"scheduler,omitempty"`
+	BenignCores   int           `json:"benign_cores,omitempty"`
+	TraceRecords  int           `json:"trace_records,omitempty"`
+	MemCycles     int64         `json:"mem_cycles,omitempty"`
+	Rows          int           `json:"rows,omitempty"`
+	AttackRecords int           `json:"attack_records,omitempty"`
+	ECC           bool          `json:"ecc,omitempty"`
+	// Attack carries pacing (duty_cycle, phase, period_cycles, gap, …);
+	// kind, records and seed are set per grid cell.
+	Attack *attack.Spec `json:"attack,omitempty"`
+}
 
-	var cells []sweepCell
+// options expands the params into the imperative AttackOptions form.
+func (p AttackParams) options(seed uint64) AttackOptions {
+	o := AttackOptions{
+		Patterns:      p.Patterns,
+		Mechanisms:    p.Mechanisms,
+		HCSweep:       p.HCSweep,
+		Scheduler:     p.Scheduler,
+		BenignCores:   p.BenignCores,
+		TraceRecords:  p.TraceRecords,
+		MemCycles:     p.MemCycles,
+		Rows:          p.Rows,
+		AttackRecords: p.AttackRecords,
+		ECC:           p.ECC,
+		Seed:          seed,
+	}
+	if p.Attack != nil {
+		o.AttackSpec = *p.Attack
+	}
+	return o
+}
+
+// attackParams converts legacy options into the spec parameter form.
+func (o AttackOptions) attackParams() AttackParams {
+	p := AttackParams{
+		Patterns:      o.Patterns,
+		Mechanisms:    o.Mechanisms,
+		HCSweep:       o.HCSweep,
+		Scheduler:     o.Scheduler,
+		BenignCores:   o.BenignCores,
+		TraceRecords:  o.TraceRecords,
+		MemCycles:     o.MemCycles,
+		Rows:          o.Rows,
+		AttackRecords: o.AttackRecords,
+		ECC:           o.ECC,
+	}
+	if o.AttackSpec != (attack.Spec{}) {
+		spec := o.AttackSpec
+		p.Attack = &spec
+	}
+	return p
+}
+
+// sweepMeta is the shard-invariant metadata of the adversarial sweeps.
+type sweepMeta struct {
+	MemCycles int64   `json:"mem_cycles"`
+	WallMS    float64 `json:"wall_ms"`
+	Benign    string  `json:"benign"`
+	ECC       bool    `json:"ecc,omitempty"`
+}
+
+// attackGrid enumerates the (mechanism × pattern × HCfirst) cells and
+// their stable keys.
+func attackGrid(o AttackOptions) (keys []string, cells []sweepCell) {
 	for _, id := range o.Mechanisms {
 		for pi, p := range o.Patterns {
 			for hi, hc := range o.HCSweep {
@@ -163,35 +226,98 @@ func RunAttackEval(o AttackOptions) (*AttackEval, error) {
 					Mech: id, Sched: o.Scheduler, Pattern: p, HC: hc,
 					streamSeed: engine.DeriveSeed(o.Seed^0x57eea, uint64(pi*len(o.HCSweep)+hi)),
 				})
+				keys = append(keys, fmt.Sprintf("mech=%s/sched=%s/pat=%s/hc=%d",
+					id, schedLabel(o.Scheduler), p, hc))
 			}
 		}
 	}
-	co := cellOptions{
-		MemCycles:     o.MemCycles,
-		AttackRecords: o.AttackRecords,
-		ECC:           o.ECC,
-		Spec:          o.AttackSpec,
+	return keys, cells
+}
+
+// schedLabel renders a scheduler for task keys (empty means FR-FCFS).
+func schedLabel(s SchedulerID) string {
+	if s == "" {
+		return string(SchedFRFCFS)
 	}
-	eo := engine.Options{Workers: o.Parallelism, Seed: o.Seed}
-	points, err := engine.Map(eo, cells, func(ctx engine.TaskContext, cell sweepCell) (AttackPoint, error) {
-		pt, err := runSweepCell(cfg, co, cell, benign, baseIPC, ctx.Seed)
-		if err != nil {
-			return AttackPoint{}, fmt.Errorf("%s/%s hc=%d: %w", cell.Mech, cell.Pattern, cell.HC, err)
-		}
-		return *pt, nil
-	})
+	return string(s)
+}
+
+// RunAttackEval evaluates every (mechanism, pattern, HCfirst) grid point.
+// Phase 1 measures the benign cores alone (no attacker, no mitigation) as
+// the performance baseline; phase 2 fans the grid out over the experiment
+// engine, so results are bit-identical for any Parallelism.
+func RunAttackEval(o AttackOptions) (*AttackEval, error) {
+	art, err := runSpecArtifact("attack", o.Seed, o.attackParams(), Exec{Parallelism: o.Parallelism})
 	if err != nil {
 		return nil, err
 	}
-	// engine.Map returns results in cell order, so Points already follow
-	// the caller's mechanism × pattern × HCfirst nesting.
-	return &AttackEval{
-		Points:    points,
-		MemCycles: o.MemCycles,
-		WallMS:    float64(o.MemCycles) * float64(cfg.T.TCKPS) * 1e-9,
-		Benign:    fmt.Sprintf("%d benign cores, MPKI %.0f", o.BenignCores, base.MPKI),
-		ECC:       o.ECC,
-	}, nil
+	return art.(*AttackEval), nil
+}
+
+func init() {
+	register(&experiment{
+		name:        "attack",
+		description: "Attack evaluation: mitigations under adversarial hammering (mechanism × pattern × HCfirst)",
+		params:      func() any { return &AttackParams{} },
+		run: func(rc *runCtx) (*Result, error) {
+			var p AttackParams
+			if err := rc.decode(&p); err != nil {
+				return nil, err
+			}
+			o := p.options(rc.spec.Seed).normalized()
+			cfg := attackSimCfg(o.MemCycles, o.Rows)
+			benign, baseIPC, base, err := benignBaseline(cfg, o.BenignCores, o.TraceRecords, o.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("attack eval %w", err)
+			}
+			keys, cells := attackGrid(o)
+			co := cellOptions{
+				MemCycles:     o.MemCycles,
+				AttackRecords: o.AttackRecords,
+				ECC:           o.ECC,
+				Spec:          o.AttackSpec,
+			}
+			meta := sweepMeta{
+				MemCycles: o.MemCycles,
+				WallMS:    float64(o.MemCycles) * float64(cfg.T.TCKPS) * 1e-9,
+				Benign:    fmt.Sprintf("%d benign cores, MPKI %.0f", o.BenignCores, base.MPKI),
+				ECC:       o.ECC,
+			}
+			return gridResult(rc, meta, keys, cells,
+				func(ctx engine.TaskContext, cell sweepCell) (AttackPoint, error) {
+					pt, err := runSweepCell(cfg, co, cell, benign, baseIPC, ctx.Seed)
+					if err != nil {
+						return AttackPoint{}, fmt.Errorf("%s/%s hc=%d: %w", cell.Mech, cell.Pattern, cell.HC, err)
+					}
+					return *pt, nil
+				})
+		},
+		finalize: func(res *Result) (Artifact, error) {
+			var p AttackParams
+			if err := decodeParams(res.Spec.Params, &p); err != nil {
+				return nil, err
+			}
+			o := p.options(res.Spec.Seed).normalized()
+			var meta sweepMeta
+			if err := json.Unmarshal(res.Meta, &meta); err != nil {
+				return nil, fmt.Errorf("core: attack meta: %w", err)
+			}
+			keys, _ := attackGrid(o)
+			points, err := cellsInOrder[AttackPoint](res, keys)
+			if err != nil {
+				return nil, err
+			}
+			// Points follow the grid's mechanism × pattern × HCfirst
+			// nesting by construction.
+			return &AttackEval{
+				Points:    points,
+				MemCycles: meta.MemCycles,
+				WallMS:    meta.WallMS,
+				Benign:    meta.Benign,
+				ECC:       meta.ECC,
+			}, nil
+		},
+	})
 }
 
 // PointsFor filters the grid for one mechanism, in report order.
@@ -221,9 +347,9 @@ func (e *AttackEval) Format() string {
 	}
 
 	sb.WriteString(table(func(w *tabwriter.Writer) {
-		header := "mechanism\tpattern\tHCfirst\tflips\tt-first-flip\taggACT/s\tbenign perf%\toverhead%\tviable"
+		header := "mechanism\tpattern\tHCfirst\tflips\tt-first-flip\taggACT/s\tattBus%\tbenign perf%\toverhead%\tviable"
 		if e.ECC {
-			header = "mechanism\tpattern\tHCfirst\tflips\traw\tt-first-flip\taggACT/s\tbenign perf%\toverhead%\tviable"
+			header = "mechanism\tpattern\tHCfirst\tflips\traw\tt-first-flip\taggACT/s\tattBus%\tbenign perf%\toverhead%\tviable"
 		}
 		fmt.Fprintln(w, header)
 		for _, id := range order {
@@ -233,13 +359,13 @@ func (e *AttackEval) Format() string {
 					ttff = fmt.Sprintf("%.3fms", p.TimeToFirstFlipMS)
 				}
 				if e.ECC {
-					fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%s\t%.2fM\t%.1f\t%.3f\t%v\n",
+					fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%s\t%.2fM\t%.1f\t%.1f\t%.3f\t%v\n",
 						p.Mechanism, p.Pattern, p.HCFirst, p.EscapedFlips, p.RawFlips, ttff,
-						p.AggACTsPerSec/1e6, p.BenignPerfPct, p.OverheadPct, p.Viable)
+						p.AggACTsPerSec/1e6, p.AttackerBusPct, p.BenignPerfPct, p.OverheadPct, p.Viable)
 				} else {
-					fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%s\t%.2fM\t%.1f\t%.3f\t%v\n",
+					fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%s\t%.2fM\t%.1f\t%.1f\t%.3f\t%v\n",
 						p.Mechanism, p.Pattern, p.HCFirst, p.EscapedFlips, ttff,
-						p.AggACTsPerSec/1e6, p.BenignPerfPct, p.OverheadPct, p.Viable)
+						p.AggACTsPerSec/1e6, p.AttackerBusPct, p.BenignPerfPct, p.OverheadPct, p.Viable)
 				}
 			}
 		}

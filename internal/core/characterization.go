@@ -1,16 +1,22 @@
 package core
 
 import (
-	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/charact"
 	"repro/internal/chips"
-	"repro/internal/engine"
 	"repro/internal/faultmodel"
 	"repro/internal/stats"
 )
+
+// The characterization experiments (Tables 1–5, 7, 8 and Figures 4–9)
+// live in the experiment registry (see regchar.go for the task grids and
+// per-chip cell runners). This file keeps the artifact types, the
+// aggregation logic that turns ordered per-chip cells into each
+// artifact, and the legacy RunX(Options) wrappers, which now build a
+// spec and route through Run — one code path whether an experiment runs
+// in-process, sharded across machines, or from a spec file.
 
 // newTester instantiates a population chip and wraps it in a tester with
 // its worst-case pattern written, the state every experiment starts from.
@@ -69,7 +75,7 @@ func repGrid(keys []ConfigKey, byCfg map[ConfigKey][]chips.ChipSpec, keep func(C
 	return jobs
 }
 
-// groupByConfig buckets engine results back into per-configuration lists,
+// groupByConfig buckets cells back into per-configuration lists,
 // preserving task order within each configuration.
 func groupByConfig[R any](nCfg int, jobs []chipJob, results []R) [][]R {
 	out := make([][]R, nCfg)
@@ -88,8 +94,11 @@ type Table1 struct {
 
 // RunTable1 tabulates the population.
 func RunTable1(o Options) (*Table1, error) {
-	o = o.normalized()
-	return &Table1{Rows: o.population().Census()}, nil
+	art, err := runOptions("table1", o)
+	if err != nil {
+		return nil, err
+	}
+	return art.(*Table1), nil
 }
 
 // --- Table 2 ---------------------------------------------------------------
@@ -110,23 +119,11 @@ type Table2 struct {
 // truth census; Section 5.1 defines RowHammerable as flipping within the
 // 150k sweep).
 func RunTable2(o Options) (*Table2, error) {
-	o = o.normalized()
-	counts := chips.SpecRowHammerable(o.Modules, o.Seed)
-	var keys []ConfigKey
-	for _, k := range ConfigKeys() {
-		if k.Node.Type != chips.DDR3Old.Type {
-			continue
-		}
-		keys = append(keys, k)
-	}
-	rows, err := engine.Map(o.engine(), keys, func(_ engine.TaskContext, k ConfigKey) (Table2Row, error) {
-		v := counts[k.Node][k.Mfr]
-		return Table2Row{Key: k, Vulnerable: v[0], Total: v[1]}, nil
-	})
+	art, err := runOptions("table2", o)
 	if err != nil {
 		return nil, err
 	}
-	return &Table2{Rows: rows}, nil
+	return art.(*Table2), nil
 }
 
 // --- Figure 4 / Table 3 ----------------------------------------------------
@@ -149,48 +146,18 @@ type Figure4 struct {
 	Rows []CoverageRow
 }
 
+// figure4HC is the paper's Section 5.2 hammer count.
+const figure4HC = 150_000
+
 // RunFigure4 measures pattern coverage on one representative chip per
 // configuration (10 iterations at HC = 150k, Section 5.2). Table 3 falls
 // out of the same data via WorstPattern.
 func RunFigure4(o Options) (*Figure4, error) {
-	o = o.normalized()
-	pop := o.population()
-	byCfg := o.chipsByConfig(pop)
-	iters := o.Iterations
-	if iters == 0 {
-		iters = 10
-	}
-	fig := &Figure4{HC: 150_000}
-	jobs := repGrid(ConfigKeys(), byCfg, nil)
-	rows, err := engine.Map(o.engine(), jobs, func(_ engine.TaskContext, j chipJob) (CoverageRow, error) {
-		t, err := newTester(pop, j.spec)
-		if err != nil {
-			return CoverageRow{}, err
-		}
-		hc := fig.HC
-		if hc > t.MaxHC {
-			hc = t.MaxHC
-		}
-		cov, err := t.MeasureCoverage(hc, iters, o.Stride)
-		if err != nil {
-			return CoverageRow{}, fmt.Errorf("coverage %v: %w", j.key, err)
-		}
-		worst, wok := cov.WorstPattern()
-		return CoverageRow{
-			Key:        j.key,
-			Chip:       j.spec.Name,
-			Coverage:   cov.Coverage,
-			TotalFlips: cov.Total,
-			Worst:      worst,
-			WorstOK:    wok,
-			PaperWorst: chips.WorstPattern(j.key.Node, j.key.Mfr),
-		}, nil
-	})
+	art, err := runOptions("fig4", o)
 	if err != nil {
 		return nil, err
 	}
-	fig.Rows = rows
-	return fig, nil
+	return art.(*Figure4), nil
 }
 
 // Table3 derives the worst-case pattern table from Figure 4's data.
@@ -200,11 +167,11 @@ type Table3 struct {
 
 // RunTable3 measures the worst-case data pattern per configuration.
 func RunTable3(o Options) (*Table3, error) {
-	fig, err := RunFigure4(o)
+	art, err := runOptions("table3", o)
 	if err != nil {
 		return nil, err
 	}
-	return &Table3{Rows: fig.Rows}, nil
+	return art.(*Table3), nil
 }
 
 // --- Figure 5 --------------------------------------------------------------
@@ -228,26 +195,16 @@ type Figure5 struct {
 // RunFigure5 sweeps the hammer count across chips of every configuration
 // and averages the flip rate per HC (Section 5.3).
 func RunFigure5(o Options) (*Figure5, error) {
-	o = o.normalized()
-	pop := o.population()
-	byCfg := o.chipsByConfig(pop)
-	hcs := charact.DefaultRateHCs()
-	keys := ConfigKeys()
-	jobs := chipGrid(keys, byCfg, nil)
-	curves, err := engine.Map(o.engine(), jobs, func(_ engine.TaskContext, j chipJob) (map[int]float64, error) {
-		t, err := newTester(pop, j.spec)
-		if err != nil {
-			return nil, err
-		}
-		curve, err := t.RateCurve(hcs, o.Stride)
-		if err != nil {
-			return nil, fmt.Errorf("rate curve %v: %w", j.key, err)
-		}
-		return curve, nil
-	})
+	art, err := runOptions("fig5", o)
 	if err != nil {
 		return nil, err
 	}
+	return art.(*Figure5), nil
+}
+
+// finalizeFigure5 aggregates ordered per-chip curves per configuration.
+func finalizeFigure5(keys []ConfigKey, jobs []chipJob, curves []map[int]float64) *Figure5 {
+	hcs := charact.DefaultRateHCs()
 	fig := &Figure5{HCs: hcs}
 	for ci, perChip := range groupByConfig(len(keys), jobs, curves) {
 		if len(perChip) == 0 {
@@ -277,7 +234,7 @@ func RunFigure5(o Options) (*Figure5, error) {
 		}
 		fig.Rows = append(fig.Rows, s)
 	}
-	return fig, nil
+	return fig
 }
 
 // --- Figure 6 / Figure 7 ---------------------------------------------------
@@ -299,42 +256,28 @@ type Figure6 struct {
 	Rows       []SpatialRow
 }
 
-// spatialSample is one chip's Figure 6 measurement; nil marks a chip that
+// spatialCell is one chip's Figure 6 cell; nil marks a chip that
 // produced no flips at the normalized rate.
-type spatialSample struct {
-	fraction map[int]float64
+type spatialCell struct {
+	Fraction map[int]float64 `json:"fraction"`
 }
+
+// normalizedRate is the paper's Figure 6/7 target flip rate.
+const normalizedRate = 1e-6
 
 // RunFigure6 normalizes each chip to a flip rate of ~1e-6 (the paper's
 // procedure) and profiles flip locations.
 func RunFigure6(o Options) (*Figure6, error) {
-	o = o.normalized()
-	pop := o.population()
-	byCfg := o.chipsByConfig(pop)
-	fig := &Figure6{TargetRate: 1e-6}
-	keys := ConfigKeys()
-	jobs := chipGrid(keys, byCfg, func(_ ConfigKey, s chips.ChipSpec) bool { return s.RowHammerable() })
-	samples, err := engine.Map(o.engine(), jobs, func(_ engine.TaskContext, j chipJob) (*spatialSample, error) {
-		t, err := newTester(pop, j.spec)
-		if err != nil {
-			return nil, err
-		}
-		hc, err := t.HCForRate(fig.TargetRate, o.Stride)
-		if err != nil {
-			return nil, err
-		}
-		sp, err := t.MeasureSpatial(hc, o.Stride)
-		if err != nil {
-			return nil, err
-		}
-		if sp.Total == 0 {
-			return nil, nil
-		}
-		return &spatialSample{fraction: sp.Fraction}, nil
-	})
+	art, err := runOptions("fig6", o)
 	if err != nil {
 		return nil, err
 	}
+	return art.(*Figure6), nil
+}
+
+// finalizeFigure6 aggregates ordered per-chip spatial cells.
+func finalizeFigure6(keys []ConfigKey, jobs []chipJob, samples []*spatialCell) *Figure6 {
+	fig := &Figure6{TargetRate: normalizedRate}
 	for ci, group := range groupByConfig(len(keys), jobs, samples) {
 		perOffset := make(map[int][]float64)
 		n := 0
@@ -342,7 +285,7 @@ func RunFigure6(o Options) (*Figure6, error) {
 			if s == nil {
 				continue
 			}
-			for off, f := range s.fraction {
+			for off, f := range s.Fraction {
 				perOffset[off] = append(perOffset[off], f)
 			}
 			n++
@@ -361,7 +304,7 @@ func RunFigure6(o Options) (*Figure6, error) {
 		}
 		fig.Rows = append(fig.Rows, row)
 	}
-	return fig, nil
+	return fig
 }
 
 // WordDensityRow is one configuration's Figure 7 subplot.
@@ -378,42 +321,25 @@ type Figure7 struct {
 	Rows       []WordDensityRow
 }
 
-// wordSample is one chip's Figure 7 measurement; nil marks a chip whose
+// wordCell is one chip's Figure 7 cell; nil marks a chip whose
 // normalized run produced no flip-containing words.
-type wordSample struct {
-	fraction [6]float64
+type wordCell struct {
+	Fraction [6]float64 `json:"fraction"`
 }
 
 // RunFigure7 measures the flip-density distribution per 64-bit word at
 // the same normalized rate as Figure 6.
 func RunFigure7(o Options) (*Figure7, error) {
-	o = o.normalized()
-	pop := o.population()
-	byCfg := o.chipsByConfig(pop)
-	fig := &Figure7{TargetRate: 1e-6}
-	keys := ConfigKeys()
-	jobs := chipGrid(keys, byCfg, func(_ ConfigKey, s chips.ChipSpec) bool { return s.RowHammerable() })
-	samples, err := engine.Map(o.engine(), jobs, func(_ engine.TaskContext, j chipJob) (*wordSample, error) {
-		t, err := newTester(pop, j.spec)
-		if err != nil {
-			return nil, err
-		}
-		hc, err := t.HCForRate(fig.TargetRate, o.Stride)
-		if err != nil {
-			return nil, err
-		}
-		wd, err := t.MeasureWordDensity(hc, o.Stride)
-		if err != nil {
-			return nil, err
-		}
-		if wd.Words == 0 {
-			return nil, nil
-		}
-		return &wordSample{fraction: wd.Fraction}, nil
-	})
+	art, err := runOptions("fig7", o)
 	if err != nil {
 		return nil, err
 	}
+	return art.(*Figure7), nil
+}
+
+// finalizeFigure7 aggregates ordered per-chip word-density cells.
+func finalizeFigure7(keys []ConfigKey, jobs []chipJob, samples []*wordCell) *Figure7 {
+	fig := &Figure7{TargetRate: normalizedRate}
 	for ci, group := range groupByConfig(len(keys), jobs, samples) {
 		var perK [6][]float64
 		n := 0
@@ -422,7 +348,7 @@ func RunFigure7(o Options) (*Figure7, error) {
 				continue
 			}
 			for i := 1; i <= 5; i++ {
-				perK[i] = append(perK[i], s.fraction[i])
+				perK[i] = append(perK[i], s.Fraction[i])
 			}
 			n++
 		}
@@ -436,7 +362,7 @@ func RunFigure7(o Options) (*Figure7, error) {
 		}
 		fig.Rows = append(fig.Rows, row)
 	}
-	return fig, nil
+	return fig
 }
 
 // --- Figure 8 / Table 4 ----------------------------------------------------
@@ -457,33 +383,23 @@ type HCFirstStudy struct {
 	Rows []HCFirstRow
 }
 
-// hcFirstSample is one chip's first-flip search result.
-type hcFirstSample struct {
-	hc    float64
-	found bool
+// hcFirstCell is one chip's first-flip search result.
+type hcFirstCell struct {
+	HC    float64 `json:"hc"`
+	Found bool    `json:"found"`
 }
 
 // RunHCFirstStudy measures HCfirst for every instantiated chip.
 func RunHCFirstStudy(o Options) (*HCFirstStudy, error) {
-	o = o.normalized()
-	pop := o.population()
-	byCfg := o.chipsByConfig(pop)
-	keys := ConfigKeys()
-	jobs := chipGrid(keys, byCfg, nil)
-	samples, err := engine.Map(o.engine(), jobs, func(_ engine.TaskContext, j chipJob) (hcFirstSample, error) {
-		t, err := newTester(pop, j.spec)
-		if err != nil {
-			return hcFirstSample{}, err
-		}
-		hc, found, err := t.MeasureHCFirst(charact.HCFirstOptions{Stride: o.Stride})
-		if err != nil {
-			return hcFirstSample{}, fmt.Errorf("hcfirst %s: %w", j.spec.Name, err)
-		}
-		return hcFirstSample{hc: float64(hc), found: found}, nil
-	})
+	art, err := runOptions("fig8", o)
 	if err != nil {
 		return nil, err
 	}
+	return art.(*Figure8).HCFirstStudy, nil
+}
+
+// finalizeHCFirst aggregates ordered per-chip first-flip cells.
+func finalizeHCFirst(keys []ConfigKey, jobs []chipJob, samples []hcFirstCell) (*HCFirstStudy, error) {
 	study := &HCFirstStudy{}
 	for ci, group := range groupByConfig(len(keys), jobs, samples) {
 		if len(group) == 0 {
@@ -493,11 +409,11 @@ func RunHCFirstStudy(o Options) (*HCFirstStudy, error) {
 		row := HCFirstRow{Key: k}
 		row.PaperMin, _ = chips.PaperHCFirst(k.Node, k.Mfr)
 		for _, s := range group {
-			if !s.found {
+			if !s.Found {
 				row.NoFlips++
 				continue
 			}
-			row.Measured = append(row.Measured, s.hc)
+			row.Measured = append(row.Measured, s.HC)
 		}
 		if len(row.Measured) > 0 {
 			box, err := stats.NewBoxPlot(row.Measured)
@@ -513,6 +429,19 @@ func RunHCFirstStudy(o Options) (*HCFirstStudy, error) {
 	}
 	return study, nil
 }
+
+// Figure8 and Table4 are the two renderings of the HCfirst study,
+// distinct artifacts over the same cells.
+type Figure8 struct{ *HCFirstStudy }
+
+// Format renders the Figure 8 box-and-whisker view.
+func (f *Figure8) Format() string { return f.FormatFigure8() }
+
+// Table4 is the minimum-HCfirst rendering of the study.
+type Table4 struct{ *HCFirstStudy }
+
+// Format renders the Table 4 view.
+func (t *Table4) Format() string { return t.FormatTable4() }
 
 // --- Figure 9 --------------------------------------------------------------
 
@@ -532,46 +461,26 @@ type Figure9 struct {
 	Rows []ECCRow
 }
 
-// eccSample is one chip's word-granularity analysis.
-type eccSample struct {
-	hc     [4]float64
-	found  [4]bool
-	mult   [3]float64
-	multOK [3]bool
+// eccCell is one chip's word-granularity analysis.
+type eccCell struct {
+	HC     [4]float64 `json:"hc"`
+	Found  [4]bool    `json:"found"`
+	Mult   [3]float64 `json:"mult"`
+	MultOK [3]bool    `json:"mult_ok"`
 }
 
 // RunFigure9 computes HCfirst/second/third at 64-bit granularity per
 // configuration.
 func RunFigure9(o Options) (*Figure9, error) {
-	o = o.normalized()
-	pop := o.population()
-	byCfg := o.chipsByConfig(pop)
-	var keys []ConfigKey
-	for _, k := range ConfigKeys() {
-		if k.Node == chips.LPDDR4x || k.Node == chips.LPDDR4y || k.Node == chips.DDR3Old {
-			continue
-		}
-		keys = append(keys, k)
-	}
-	jobs := chipGrid(keys, byCfg, func(_ ConfigKey, s chips.ChipSpec) bool { return s.RowHammerable() })
-	samples, err := engine.Map(o.engine(), jobs, func(_ engine.TaskContext, j chipJob) (eccSample, error) {
-		t, err := newTester(pop, j.spec)
-		if err != nil {
-			return eccSample{}, err
-		}
-		a := t.AnalyzeECCWords()
-		var s eccSample
-		for kk := 1; kk <= 3; kk++ {
-			s.hc[kk], s.found[kk] = a.HC[kk], a.Found[kk]
-		}
-		for kk := 1; kk <= 2; kk++ {
-			s.mult[kk], s.multOK[kk] = a.Multiplier(kk)
-		}
-		return s, nil
-	})
+	art, err := runOptions("fig9", o)
 	if err != nil {
 		return nil, err
 	}
+	return art.(*Figure9), nil
+}
+
+// finalizeFigure9 aggregates ordered per-chip ECC-word cells.
+func finalizeFigure9(keys []ConfigKey, jobs []chipJob, samples []eccCell) *Figure9 {
 	fig := &Figure9{}
 	for ci, group := range groupByConfig(len(keys), jobs, samples) {
 		if len(group) == 0 {
@@ -581,13 +490,13 @@ func RunFigure9(o Options) (*Figure9, error) {
 		row := ECCRow{Key: keys[ci], Chips: len(group)}
 		for _, s := range group {
 			for kk := 1; kk <= 3; kk++ {
-				if s.found[kk] {
-					hcs[kk] = append(hcs[kk], s.hc[kk])
+				if s.Found[kk] {
+					hcs[kk] = append(hcs[kk], s.HC[kk])
 				}
 			}
 			for kk := 1; kk <= 2; kk++ {
-				if s.multOK[kk] {
-					row.Multipliers[kk] = append(row.Multipliers[kk], s.mult[kk])
+				if s.MultOK[kk] {
+					row.Multipliers[kk] = append(row.Multipliers[kk], s.Mult[kk])
 				}
 			}
 		}
@@ -597,7 +506,7 @@ func RunFigure9(o Options) (*Figure9, error) {
 		}
 		fig.Rows = append(fig.Rows, row)
 	}
-	return fig, nil
+	return fig
 }
 
 // --- Table 5 ---------------------------------------------------------------
@@ -620,45 +529,11 @@ type Table5 struct {
 // Configurations that are not RowHammerable are skipped like the paper's
 // DDR3-old rows.
 func RunTable5(o Options) (*Table5, error) {
-	o = o.normalized()
-	pop := o.population()
-	byCfg := o.chipsByConfig(pop)
-	iters := o.Iterations
-	if iters == 0 {
-		iters = 20
-	}
-	var keys []ConfigKey
-	for _, k := range ConfigKeys() {
-		if k.Node == chips.DDR3Old {
-			continue
-		}
-		keys = append(keys, k)
-	}
-	jobs := repGrid(keys, byCfg, func(_ ConfigKey, s chips.ChipSpec) bool { return s.RowHammerable() })
-	rows, err := engine.Map(o.engine(), jobs, func(_ engine.TaskContext, j chipJob) (*Table5Row, error) {
-		t, err := newTester(pop, j.spec)
-		if err != nil {
-			return nil, err
-		}
-		m, err := t.MeasureMonotonicity(nil, iters, o.Stride)
-		if err != nil {
-			return nil, fmt.Errorf("monotonicity %v: %w", j.key, err)
-		}
-		if m.Cells == 0 {
-			return nil, nil
-		}
-		return &Table5Row{Key: j.key, Percent: m.Percent(), Cells: m.Cells}, nil
-	})
+	art, err := runOptions("table5", o)
 	if err != nil {
 		return nil, err
 	}
-	t5 := &Table5{Iterations: iters}
-	for _, r := range rows {
-		if r != nil {
-			t5.Rows = append(t5.Rows, *r)
-		}
-	}
-	return t5, nil
+	return art.(*Table5), nil
 }
 
 // --- Tables 7 and 8 --------------------------------------------------------
@@ -687,4 +562,14 @@ func sortedOffsets(m map[int]float64) []int {
 	}
 	sort.Ints(out)
 	return out
+}
+
+// runOptions is the legacy-wrapper path: convert Options to a spec, run
+// it unsharded, and finalize the artifact.
+func runOptions(name string, o Options) (Artifact, error) {
+	p, err := o.charParams()
+	if err != nil {
+		return nil, err
+	}
+	return runSpecArtifact(name, o.Seed, p, Exec{Parallelism: o.Parallelism})
 }

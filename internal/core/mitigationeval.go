@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 
@@ -26,12 +27,17 @@ const (
 	// MechBlockHammer is the post-paper throttling contender evaluated by
 	// the attack subsystem (RunAttackEval); it is not part of Figure 10's
 	// paper-faithful mechanism list but can be requested explicitly. Its
-	// RowBlocker-Req queue admission is requester-aware (per-thread
-	// RowHammer likelihood index).
+	// RowBlocker-Req queue admission is requester-aware and proportional:
+	// a blacklisted-row request is delayed in proportion to its source
+	// thread's RowHammer likelihood index (BlockHammer's full design).
 	MechBlockHammer MechanismID = "BlockHammer"
+	// MechBlockHammerBinary is BlockHammer with the binary per-requester
+	// admission gate (reject outright at RHLI ≥ 1) — the previous default,
+	// kept as the comparison baseline for the proportional policy.
+	MechBlockHammerBinary MechanismID = "BlockHammer-binary"
 	// MechBlockHammerBlanket is BlockHammer with the legacy requester-
 	// blind admission policy (reject any blacklisted-row read once the
-	// queue is half full) — the baseline the per-thread policy is
+	// queue is half full) — the baseline the per-thread policies are
 	// measured against.
 	MechBlockHammerBlanket MechanismID = "BlockHammer-blanket"
 )
@@ -52,6 +58,8 @@ func buildMechanism(id MechanismID, cfg sim.Config, hcFirst int, seed uint64) (m
 		return mitigation.NewNone(), nil
 	case MechBlockHammer:
 		return mitigation.NewBlockHammer(p)
+	case MechBlockHammerBinary:
+		return mitigation.NewBlockHammerBinary(p)
 	case MechBlockHammerBlanket:
 		return mitigation.NewBlockHammerBlanket(p)
 	case MechIncreasedRefresh:
@@ -183,55 +191,143 @@ type Figure10 struct {
 	MixMPKIs []float64 // aggregate MPKI per mix on the baseline
 }
 
+// Fig10Params is the declarative (spec) form of MitigationOptions.
+type Fig10Params struct {
+	Mixes        int           `json:"mixes,omitempty"`
+	Cores        int           `json:"cores,omitempty"`
+	TraceRecords int           `json:"trace_records,omitempty"`
+	WarmupInsts  int64         `json:"warmup_insts,omitempty"`
+	MeasureInsts int64         `json:"measure_insts,omitempty"`
+	HCSweep      []int         `json:"hc,omitempty"`
+	Mechanisms   []MechanismID `json:"mechanisms,omitempty"`
+}
+
+// options expands the params into the imperative MitigationOptions form.
+func (p Fig10Params) options(seed uint64) MitigationOptions {
+	return MitigationOptions{
+		Mixes:        p.Mixes,
+		Cores:        p.Cores,
+		TraceRecords: p.TraceRecords,
+		WarmupInsts:  p.WarmupInsts,
+		MeasureInsts: p.MeasureInsts,
+		HCSweep:      p.HCSweep,
+		Mechanisms:   p.Mechanisms,
+		Seed:         seed,
+	}
+}
+
+// fig10Params converts legacy options into the spec parameter form.
+func (o MitigationOptions) fig10Params() Fig10Params {
+	return Fig10Params{
+		Mixes:        o.Mixes,
+		Cores:        o.Cores,
+		TraceRecords: o.TraceRecords,
+		WarmupInsts:  o.WarmupInsts,
+		MeasureInsts: o.MeasureInsts,
+		HCSweep:      o.HCSweep,
+		Mechanisms:   o.Mechanisms,
+	}
+}
+
+// fig10Meta is the shard-invariant metadata: every shard recomputes the
+// per-mix baselines identically from the spec's seed.
+type fig10Meta struct {
+	Mixes    int       `json:"mixes"`
+	MixMPKIs []float64 `json:"mix_mpkis"`
+}
+
+// fig10Job is one (mechanism, HCfirst) task of the Figure 10 grid.
+type fig10Job struct {
+	mech MechanismID
+	hc   int
+}
+
+// fig10Grid enumerates the (mechanism, HCfirst) tasks and their keys.
+func fig10Grid(o MitigationOptions) (keys []string, jobs []fig10Job) {
+	for _, id := range o.Mechanisms {
+		for _, hc := range hcPointsFor(id, o.HCSweep) {
+			keys = append(keys, fmt.Sprintf("mech=%s/hc=%d", id, hc))
+			jobs = append(jobs, fig10Job{mech: id, hc: hc})
+		}
+	}
+	return keys, jobs
+}
+
 // RunFigure10 evaluates every mechanism at every applicable HCfirst
 // across the workload mixes. Baseline (no-mitigation) and single-core
 // alone runs are shared across mechanisms. Both phases fan out through
 // the experiment engine, so results are identical for any Parallelism.
 func RunFigure10(o MitigationOptions) (*Figure10, error) {
-	o = o.normalized()
-	cfg := sim.Table6Config(o.WarmupInsts, o.MeasureInsts)
-	mixes := trace.Mixes(o.Mixes, o.Cores, o.TraceRecords, o.Seed)
-	eo := engine.Options{Workers: o.Parallelism, Seed: o.Seed}
-
-	// Phase 1: per-mix baselines (parallel over mixes, shared sweep core).
-	baselines, alones, err := mixBaselines(eo, cfg, mixes)
+	art, err := runSpecArtifact("fig10", o.Seed, o.fig10Params(), Exec{Parallelism: o.Parallelism})
 	if err != nil {
 		return nil, err
 	}
-	fig := &Figure10{Mixes: len(mixes)}
-	for _, b := range baselines {
-		fig.MixMPKIs = append(fig.MixMPKIs, b.mpki)
-	}
+	return art.(*Figure10), nil
+}
 
-	// Phase 2: (mechanism, HCfirst) sweep.
-	type job struct {
-		mech MechanismID
-		hc   int
-	}
-	var jobs []job
-	for _, id := range o.Mechanisms {
-		for _, hc := range hcPointsFor(id, o.HCSweep) {
-			jobs = append(jobs, job{mech: id, hc: hc})
-		}
-	}
-	points, err := engine.Map(eo, jobs, func(_ engine.TaskContext, jb job) (F10Point, error) {
-		pt, err := runPoint(cfg, o, jb.mech, jb.hc, mixes, alones, baselines)
-		if err != nil {
-			return F10Point{}, err
-		}
-		return *pt, nil
+func init() {
+	register(&experiment{
+		name:        "fig10",
+		description: "Figure 10: mitigation-mechanism overhead across the HCfirst sweep",
+		params:      func() any { return &Fig10Params{} },
+		run: func(rc *runCtx) (*Result, error) {
+			var p Fig10Params
+			if err := rc.decode(&p); err != nil {
+				return nil, err
+			}
+			o := p.options(rc.spec.Seed).normalized()
+			cfg := sim.Table6Config(o.WarmupInsts, o.MeasureInsts)
+			mixes := trace.Mixes(o.Mixes, o.Cores, o.TraceRecords, o.Seed)
+			eo := engine.Options{Workers: rc.exec.Parallelism, Seed: o.Seed}
+
+			// Phase 1: per-mix baselines. Every shard recomputes them —
+			// they are inputs to each grid cell, and being derived purely
+			// from the spec's seed they agree bit-for-bit across shards.
+			baselines, alones, err := mixBaselines(eo, cfg, mixes)
+			if err != nil {
+				return nil, err
+			}
+			meta := fig10Meta{Mixes: len(mixes)}
+			for _, b := range baselines {
+				meta.MixMPKIs = append(meta.MixMPKIs, b.mpki)
+			}
+
+			// Phase 2: the sharded (mechanism, HCfirst) grid.
+			keys, jobs := fig10Grid(o)
+			return gridResult(rc, meta, keys, jobs,
+				func(_ engine.TaskContext, jb fig10Job) (F10Point, error) {
+					pt, err := runPoint(cfg, o, jb.mech, jb.hc, mixes, alones, baselines)
+					if err != nil {
+						return F10Point{}, err
+					}
+					return *pt, nil
+				})
+		},
+		finalize: func(res *Result) (Artifact, error) {
+			var p Fig10Params
+			if err := decodeParams(res.Spec.Params, &p); err != nil {
+				return nil, err
+			}
+			o := p.options(res.Spec.Seed).normalized()
+			var meta fig10Meta
+			if err := json.Unmarshal(res.Meta, &meta); err != nil {
+				return nil, fmt.Errorf("core: fig10 meta: %w", err)
+			}
+			keys, _ := fig10Grid(o)
+			points, err := cellsInOrder[F10Point](res, keys)
+			if err != nil {
+				return nil, err
+			}
+			fig := &Figure10{Points: points, Mixes: meta.Mixes, MixMPKIs: meta.MixMPKIs}
+			sort.SliceStable(fig.Points, func(i, j int) bool {
+				if fig.Points[i].Mechanism != fig.Points[j].Mechanism {
+					return fig.Points[i].Mechanism < fig.Points[j].Mechanism
+				}
+				return fig.Points[i].HCFirst > fig.Points[j].HCFirst
+			})
+			return fig, nil
+		},
 	})
-	if err != nil {
-		return nil, err
-	}
-	fig.Points = points
-	sort.SliceStable(fig.Points, func(i, j int) bool {
-		if fig.Points[i].Mechanism != fig.Points[j].Mechanism {
-			return fig.Points[i].Mechanism < fig.Points[j].Mechanism
-		}
-		return fig.Points[i].HCFirst > fig.Points[j].HCFirst
-	})
-	return fig, nil
 }
 
 // mixBaseline caches one mix's no-mitigation weighted speedup and MPKI.

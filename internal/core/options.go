@@ -13,12 +13,18 @@ import (
 	"repro/internal/faultmodel"
 )
 
-// Options scales the characterization experiments.
+// Options scales the characterization experiments. It is the legacy
+// imperative form of CharParams: every RunX(Options) wrapper converts it
+// to a spec and routes through the experiment registry, so Options must
+// stay expressible as CharParams (in particular, Modules supports only
+// the named population sets).
 type Options struct {
 	// Scale is the chip geometry / instantiation cap (chips.ScaleTiny …
 	// chips.ScaleFull).
 	Scale chips.Scale
-	// Modules is the population; nil means chips.AllModules().
+	// Modules is the population; nil means chips.AllModules(). The spec
+	// path only expresses the named sets (all/ddr3/ddr4/lpddr4), so a
+	// custom slice here makes the RunX wrappers error.
 	Modules []chips.ModuleSpec
 	// Stride samples victim rows in full-chip sweeps (1 = every row).
 	Stride int
@@ -135,3 +141,119 @@ func representative(specs []chips.ChipSpec) (chips.ChipSpec, bool) {
 
 // patternName renders a pattern like the paper's tables ("RowStripe0").
 func patternName(p faultmodel.Pattern) string { return p.String() }
+
+// CharParams is the declarative (spec) form of Options: the parameter
+// block of every characterization experiment in the registry. The zero
+// value means the CLI-scale defaults (DefaultOptions).
+type CharParams struct {
+	// Scale names a predefined geometry: tiny, small (default), medium,
+	// full.
+	Scale string `json:"scale,omitempty"`
+	// CustomScale overrides Scale with an explicit geometry.
+	CustomScale *chips.Scale `json:"custom_scale,omitempty"`
+	// Modules names the population: all (default), ddr3, ddr4, lpddr4.
+	Modules string `json:"modules,omitempty"`
+	// Chips caps instantiated chips per configuration: 0 means the
+	// default cap (4), -1 means every chip.
+	Chips int `json:"chips,omitempty"`
+	// Stride samples victim rows in full-chip sweeps (0 or 1 = every row).
+	Stride int `json:"stride,omitempty"`
+	// Iterations for repeated-measurement experiments; 0 keeps each
+	// experiment's paper default.
+	Iterations int `json:"iterations,omitempty"`
+}
+
+// scalesByName maps the predefined geometry names.
+var scalesByName = map[string]chips.Scale{
+	"tiny":   chips.ScaleTiny,
+	"small":  chips.ScaleSmall,
+	"medium": chips.ScaleMedium,
+	"full":   chips.ScaleFull,
+}
+
+// scaleName returns the predefined name of a scale, if any.
+func scaleName(s chips.Scale) (string, bool) {
+	for _, name := range []string{"tiny", "small", "medium", "full"} {
+		if scalesByName[name] == s {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// modulesByName resolves the named population sets.
+func modulesByName(name string) ([]chips.ModuleSpec, error) {
+	switch name {
+	case "", "all":
+		return chips.AllModules(), nil
+	case "ddr3":
+		return chips.DDR3Modules(), nil
+	case "ddr4":
+		return chips.DDR4Modules(), nil
+	case "lpddr4":
+		return chips.LPDDR4Modules(), nil
+	default:
+		return nil, fmt.Errorf("core: unknown module set %q (all, ddr3, ddr4, lpddr4)", name)
+	}
+}
+
+// options expands the params into the imperative Options form.
+func (p CharParams) options(seed uint64) (Options, error) {
+	o := Options{Seed: seed}
+	switch {
+	case p.CustomScale != nil:
+		o.Scale = *p.CustomScale
+	case p.Scale == "":
+		o.Scale = chips.ScaleSmall
+	default:
+		s, ok := scalesByName[p.Scale]
+		if !ok {
+			return Options{}, fmt.Errorf("core: unknown scale %q (tiny, small, medium, full)", p.Scale)
+		}
+		o.Scale = s
+	}
+	mods, err := modulesByName(p.Modules)
+	if err != nil {
+		return Options{}, err
+	}
+	o.Modules = mods
+	switch {
+	case p.Chips < 0:
+		o.MaxChipsPerConfig = 0 // uncapped
+	case p.Chips == 0:
+		o.MaxChipsPerConfig = DefaultOptions().MaxChipsPerConfig
+	default:
+		o.MaxChipsPerConfig = p.Chips
+	}
+	o.Stride = p.Stride
+	o.Iterations = p.Iterations
+	return o, nil
+}
+
+// charParams converts legacy Options into the spec parameter form; a
+// custom Modules slice is not expressible and errors.
+func (o Options) charParams() (CharParams, error) {
+	if o.Modules != nil {
+		return CharParams{}, fmt.Errorf("core: custom Options.Modules cannot be expressed as an experiment spec; use the named sets (all, ddr3, ddr4, lpddr4)")
+	}
+	p := CharParams{Stride: o.Stride, Iterations: o.Iterations}
+	scale := o.Scale
+	if scale.Rows == 0 {
+		scale = chips.ScaleSmall
+	}
+	if name, ok := scaleName(scale); ok {
+		p.Scale = name
+	} else {
+		s := scale
+		p.CustomScale = &s
+	}
+	switch {
+	case o.MaxChipsPerConfig == 0:
+		p.Chips = -1 // uncapped
+	case o.MaxChipsPerConfig == DefaultOptions().MaxChipsPerConfig:
+		p.Chips = 0
+	default:
+		p.Chips = o.MaxChipsPerConfig
+	}
+	return p, nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"text/tabwriter"
@@ -40,12 +41,16 @@ const (
 func Schedulers() []SchedulerID { return []SchedulerID{SchedFRFCFS, SchedBLISS} }
 
 // applyScheduler configures a simulation for the scheduling policy.
-func applyScheduler(cfg *sim.Config, id SchedulerID) error {
+// streak and clear parameterize BLISS (0 keeps the controller defaults:
+// streak 4, clearing interval 10k cycles) and are ignored for FR-FCFS.
+func applyScheduler(cfg *sim.Config, id SchedulerID, streak int, clear int64) error {
 	switch id {
 	case "", SchedFRFCFS:
 		return nil
 	case SchedBLISS:
 		cfg.Ctrl.BLISS = true
+		cfg.Ctrl.BLISSStreak = streak
+		cfg.Ctrl.BLISSClearCycles = clear
 		return nil
 	default:
 		return fmt.Errorf("core: unknown scheduler %q", id)
@@ -151,11 +156,16 @@ func mixBaselines(eo engine.Options, cfg sim.Config, mixes []trace.Mix) ([]mixBa
 // the same chip (same weakest cell, same thresholds) and the same
 // attacker stream; anything else would confound the comparison.
 type sweepCell struct {
-	Mech       MechanismID
-	Sched      SchedulerID
-	Pattern    attack.Kind
-	HC         int
-	streamSeed uint64
+	Mech    MechanismID
+	Sched   SchedulerID
+	Pattern attack.Kind
+	HC      int
+	// blissStreak / blissClear parameterize the BLISS scheduler for this
+	// cell (0 = controller defaults); the Pareto sweep can take them as
+	// grid axes.
+	blissStreak int
+	blissClear  int64
+	streamSeed  uint64
 }
 
 // cellOptions carries the system-shape knobs runSweepCell needs; both
@@ -174,7 +184,7 @@ type cellOptions struct {
 func runSweepCell(cfg sim.Config, o cellOptions, cell sweepCell,
 	benign trace.Mix, baseIPC []float64, mechSeed uint64,
 ) (*AttackPoint, error) {
-	if err := applyScheduler(&cfg, cell.Sched); err != nil {
+	if err := applyScheduler(&cfg, cell.Sched, cell.blissStreak, cell.blissClear); err != nil {
 		return nil, err
 	}
 	mech, err := buildMechanism(cell.Mech, cfg, cell.HC, mechSeed^0x3eca)
@@ -240,6 +250,10 @@ func runSweepCell(cfg sim.Config, o cellOptions, cell sweepCell,
 		if secs := float64(o.MemCycles) * float64(cfg.T.TCKPS) * 1e-12; secs > 0 {
 			pt.AggACTsPerSec = float64(obs.AggressorACTs()) / secs
 		}
+		// DoS attribution: the attacker sits at core 0 of the mix, so its
+		// per-requester bus-busy share is the fraction of demand DRAM
+		// service the attack consumed.
+		pt.AttackerBusPct = res.Ctrl.BusSharePct(0)
 	}
 	// Benign performance: weighted speedup of the benign cores against
 	// their unattacked, unmitigated baseline. In an attack cell the benign
@@ -283,6 +297,14 @@ type ParetoOptions struct {
 	// AttackSpec carries pattern pacing (Phase/DutyCycle/Gap) applied to
 	// every synthesized stream; Kind/Records/Seed are set per grid cell.
 	AttackSpec attack.Spec
+
+	// BLISSStreaks / BLISSClears turn the BLISS scheduler parameters into
+	// sweep axes: every BLISS grid point is evaluated at each (streak,
+	// clearing-interval) combination. Empty means one point at the
+	// controller defaults (streak 4, 10k cycles). FR-FCFS points ignore
+	// both axes.
+	BLISSStreaks []int
+	BLISSClears  []int64
 
 	Parallelism int
 	Seed        uint64
@@ -340,8 +362,12 @@ func (o ParetoOptions) normalized() ParetoOptions {
 type ParetoPoint struct {
 	Mechanism MechanismID
 	Scheduler SchedulerID
-	HCFirst   int
-	Viable    bool
+	// BLISSStreak / BLISSClear identify the BLISS parameter point when
+	// the sweep takes them as axes (0 = controller defaults).
+	BLISSStreak int
+	BLISSClear  int64
+	HCFirst     int
+	Viable      bool
 
 	// Security axis: worst case across the evaluated attack patterns.
 	EscapedFlips int
@@ -372,70 +398,267 @@ type ParetoSweep struct {
 	ECC       bool
 }
 
+// ParetoParams is the declarative (spec) form of ParetoOptions.
+type ParetoParams struct {
+	Mechanisms    []MechanismID `json:"mechanisms,omitempty"`
+	Schedulers    []SchedulerID `json:"schedulers,omitempty"`
+	Patterns      []attack.Kind `json:"patterns,omitempty"`
+	HCSweep       []int         `json:"hc,omitempty"`
+	BenignCores   int           `json:"benign_cores,omitempty"`
+	TraceRecords  int           `json:"trace_records,omitempty"`
+	MemCycles     int64         `json:"mem_cycles,omitempty"`
+	Rows          int           `json:"rows,omitempty"`
+	AttackRecords int           `json:"attack_records,omitempty"`
+	ECC           bool          `json:"ecc,omitempty"`
+	Attack        *attack.Spec  `json:"attack,omitempty"`
+	// BLISSStreaks / BLISSClears are the BLISS scheduler-parameter axes
+	// (ROADMAP's fairness/throughput trade-off map); empty means one
+	// point at the controller defaults.
+	BLISSStreaks []int   `json:"bliss_streaks,omitempty"`
+	BLISSClears  []int64 `json:"bliss_clears,omitempty"`
+}
+
+// Validate rejects axis values the grid cannot distinguish from the
+// defaults (labels would collide into duplicate task keys).
+func (p *ParetoParams) Validate() error {
+	for _, s := range p.BLISSStreaks {
+		if s <= 0 {
+			return fmt.Errorf("core: pareto bliss_streaks value %d not positive (omit the field for the controller default)", s)
+		}
+	}
+	for _, c := range p.BLISSClears {
+		if c <= 0 {
+			return fmt.Errorf("core: pareto bliss_clears value %d not positive (omit the field for the controller default)", c)
+		}
+	}
+	return nil
+}
+
+// options expands the params into the imperative ParetoOptions form.
+func (p ParetoParams) options(seed uint64) ParetoOptions {
+	o := ParetoOptions{
+		Mechanisms:    p.Mechanisms,
+		Schedulers:    p.Schedulers,
+		Patterns:      p.Patterns,
+		HCSweep:       p.HCSweep,
+		BenignCores:   p.BenignCores,
+		TraceRecords:  p.TraceRecords,
+		MemCycles:     p.MemCycles,
+		Rows:          p.Rows,
+		AttackRecords: p.AttackRecords,
+		ECC:           p.ECC,
+		BLISSStreaks:  p.BLISSStreaks,
+		BLISSClears:   p.BLISSClears,
+		Seed:          seed,
+	}
+	if p.Attack != nil {
+		o.AttackSpec = *p.Attack
+	}
+	return o
+}
+
+// paretoParams converts legacy options into the spec parameter form.
+func (o ParetoOptions) paretoParams() ParetoParams {
+	p := ParetoParams{
+		Mechanisms:    o.Mechanisms,
+		Schedulers:    o.Schedulers,
+		Patterns:      o.Patterns,
+		HCSweep:       o.HCSweep,
+		BenignCores:   o.BenignCores,
+		TraceRecords:  o.TraceRecords,
+		MemCycles:     o.MemCycles,
+		Rows:          o.Rows,
+		AttackRecords: o.AttackRecords,
+		ECC:           o.ECC,
+		BLISSStreaks:  o.BLISSStreaks,
+		BLISSClears:   o.BLISSClears,
+	}
+	if o.AttackSpec != (attack.Spec{}) {
+		spec := o.AttackSpec
+		p.Attack = &spec
+	}
+	return p
+}
+
+// blissVariant is one point of the BLISS parameter axes.
+type blissVariant struct {
+	streak int
+	clear  int64
+}
+
+// blissVariants expands the configured axes; FR-FCFS uses the single
+// zero variant.
+func (o ParetoOptions) blissVariants(sched SchedulerID) []blissVariant {
+	if sched != SchedBLISS {
+		return []blissVariant{{}}
+	}
+	streaks := o.BLISSStreaks
+	if len(streaks) == 0 {
+		streaks = []int{0}
+	}
+	clears := o.BLISSClears
+	if len(clears) == 0 {
+		clears = []int64{0}
+	}
+	var out []blissVariant
+	for _, s := range streaks {
+		for _, c := range clears {
+			out = append(out, blissVariant{streak: s, clear: c})
+		}
+	}
+	return out
+}
+
+// paretoGrid flattens the (mechanism × scheduler-variant × HCfirst) grid:
+// per point, every attack pattern plus the benign-only cell, in
+// deterministic order. The stream seed depends only on (pattern, HCfirst)
+// so every contender faces the same chip and attacker stream.
+func paretoGrid(o ParetoOptions) (keys []string, cells []sweepCell) {
+	for _, mech := range o.Mechanisms {
+		for _, sched := range o.Schedulers {
+			for _, v := range o.blissVariants(sched) {
+				for hi, hc := range o.HCSweep {
+					add := func(pat attack.Kind, seed uint64) {
+						cells = append(cells, sweepCell{
+							Mech: mech, Sched: sched, Pattern: pat, HC: hc,
+							blissStreak: v.streak, blissClear: v.clear,
+							streamSeed: seed,
+						})
+						patLabel := string(pat)
+						if pat == "" {
+							patLabel = "benign-only"
+						}
+						keys = append(keys, fmt.Sprintf("mech=%s/sched=%s/hc=%d/pat=%s",
+							mech, variantLabel(sched, v.streak, v.clear), hc, patLabel))
+					}
+					for pi, p := range o.Patterns {
+						add(p, engine.DeriveSeed(o.Seed^0x57eea, uint64(pi*len(o.HCSweep)+hi)))
+					}
+					add("", 0)
+				}
+			}
+		}
+	}
+	return keys, cells
+}
+
+// variantLabel renders a scheduler with its BLISS parameters, matching
+// SchedulerLabel on points.
+func variantLabel(sched SchedulerID, streak int, clear int64) string {
+	if sched != SchedBLISS || (streak == 0 && clear == 0) {
+		return schedLabel(sched)
+	}
+	s, c := streak, clear
+	if s == 0 {
+		s = 4
+	}
+	if c == 0 {
+		c = 10_000
+	}
+	return fmt.Sprintf("%s[s=%d,c=%d]", SchedBLISS, s, c)
+}
+
+// SchedulerLabel renders the point's scheduler including any non-default
+// BLISS parameters.
+func (p ParetoPoint) SchedulerLabel() string {
+	return variantLabel(p.Scheduler, p.BLISSStreak, p.BLISSClear)
+}
+
 // RunParetoSweep evaluates the (mechanism × scheduler × HCfirst) grid:
 // every point runs one mixed attacker+benign simulation per attack
 // pattern plus one attacker-free run, all fanned out over the experiment
 // engine (results are bit-identical for any Parallelism), and the
 // worst-case aggregates form escaped-flips-vs-benign-overhead frontier
-// points per HCfirst.
+// points per HCfirst. The BLISS streak/clear axes multiply the scheduler
+// dimension when set.
 func RunParetoSweep(o ParetoOptions) (*ParetoSweep, error) {
-	o = o.normalized()
-	cfg := attackSimCfg(o.MemCycles, o.Rows)
-	benign, baseIPC, base, err := benignBaseline(cfg, o.BenignCores, o.TraceRecords, o.Seed)
+	art, err := runSpecArtifact("pareto", o.Seed, o.paretoParams(), Exec{Parallelism: o.Parallelism})
 	if err != nil {
 		return nil, err
 	}
+	return art.(*ParetoSweep), nil
+}
 
-	// Flatten the grid: per (mechanism, scheduler, HCfirst), every attack
-	// pattern plus the benign-only cell, in deterministic order.
-	perPoint := len(o.Patterns) + 1
-	var cells []sweepCell
-	for _, mech := range o.Mechanisms {
-		for _, sched := range o.Schedulers {
-			for hi, hc := range o.HCSweep {
-				for pi, p := range o.Patterns {
-					cells = append(cells, sweepCell{
-						Mech: mech, Sched: sched, Pattern: p, HC: hc,
-						streamSeed: engine.DeriveSeed(o.Seed^0x57eea, uint64(pi*len(o.HCSweep)+hi)),
-					})
-				}
-				cells = append(cells, sweepCell{Mech: mech, Sched: sched, HC: hc})
+func init() {
+	register(&experiment{
+		name:        "pareto",
+		description: "Pareto sweep: worst-case security vs benign overhead per (mechanism × scheduler × HCfirst)",
+		params:      func() any { return &ParetoParams{} },
+		run: func(rc *runCtx) (*Result, error) {
+			var p ParetoParams
+			if err := rc.decode(&p); err != nil {
+				return nil, err
 			}
-		}
-	}
-	co := cellOptions{
-		MemCycles:     o.MemCycles,
-		AttackRecords: o.AttackRecords,
-		ECC:           o.ECC,
-		Spec:          o.AttackSpec,
-	}
-	eo := engine.Options{Workers: o.Parallelism, Seed: o.Seed}
-	results, err := engine.Map(eo, cells, func(ctx engine.TaskContext, cell sweepCell) (AttackPoint, error) {
-		pt, err := runSweepCell(cfg, co, cell, benign, baseIPC, ctx.Seed)
-		if err != nil {
-			return AttackPoint{}, fmt.Errorf("%s/%s/%s hc=%d: %w", cell.Mech, cell.Sched, cell.Pattern, cell.HC, err)
-		}
-		return *pt, nil
+			o := p.options(rc.spec.Seed).normalized()
+			cfg := attackSimCfg(o.MemCycles, o.Rows)
+			benign, baseIPC, base, err := benignBaseline(cfg, o.BenignCores, o.TraceRecords, o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			keys, cells := paretoGrid(o)
+			co := cellOptions{
+				MemCycles:     o.MemCycles,
+				AttackRecords: o.AttackRecords,
+				ECC:           o.ECC,
+				Spec:          o.AttackSpec,
+			}
+			meta := sweepMeta{
+				MemCycles: o.MemCycles,
+				WallMS:    float64(o.MemCycles) * float64(cfg.T.TCKPS) * 1e-9,
+				Benign:    fmt.Sprintf("%d benign cores, MPKI %.0f", o.BenignCores, base.MPKI),
+				ECC:       o.ECC,
+			}
+			return gridResult(rc, meta, keys, cells,
+				func(ctx engine.TaskContext, cell sweepCell) (AttackPoint, error) {
+					pt, err := runSweepCell(cfg, co, cell, benign, baseIPC, ctx.Seed)
+					if err != nil {
+						return AttackPoint{}, fmt.Errorf("%s/%s/%s hc=%d: %w",
+							cell.Mech, cell.Sched, cell.Pattern, cell.HC, err)
+					}
+					return *pt, nil
+				})
+		},
+		finalize: func(res *Result) (Artifact, error) {
+			var p ParetoParams
+			if err := decodeParams(res.Spec.Params, &p); err != nil {
+				return nil, err
+			}
+			o := p.options(res.Spec.Seed).normalized()
+			var meta sweepMeta
+			if err := json.Unmarshal(res.Meta, &meta); err != nil {
+				return nil, fmt.Errorf("core: pareto meta: %w", err)
+			}
+			keys, cells := paretoGrid(o)
+			results, err := cellsInOrder[AttackPoint](res, keys)
+			if err != nil {
+				return nil, err
+			}
+			return finalizePareto(o, meta, cells, results), nil
+		},
 	})
-	if err != nil {
-		return nil, err
-	}
+}
 
-	// Aggregate each point's pattern block (worst case) + benign-only run.
+// finalizePareto aggregates each grid point's pattern block (worst case)
+// plus its benign-only run into frontier points.
+func finalizePareto(o ParetoOptions, meta sweepMeta, cells []sweepCell, results []AttackPoint) *ParetoSweep {
 	sweep := &ParetoSweep{
 		Patterns:  o.Patterns,
-		MemCycles: o.MemCycles,
-		WallMS:    float64(o.MemCycles) * float64(cfg.T.TCKPS) * 1e-9,
-		Benign:    fmt.Sprintf("%d benign cores, MPKI %.0f", o.BenignCores, base.MPKI),
-		ECC:       o.ECC,
+		MemCycles: meta.MemCycles,
+		WallMS:    meta.WallMS,
+		Benign:    meta.Benign,
+		ECC:       meta.ECC,
 	}
-	for start := 0; start < len(results); start += perPoint {
+	perPoint := len(o.Patterns) + 1
+	for start := 0; start+perPoint <= len(results); start += perPoint {
 		block := results[start : start+perPoint]
+		cell := cells[start]
 		pt := ParetoPoint{
-			Mechanism: block[0].Mechanism,
-			Scheduler: block[0].Scheduler,
-			HCFirst:   block[0].HCFirst,
-			Viable:    block[0].Viable,
+			Mechanism:   block[0].Mechanism,
+			Scheduler:   block[0].Scheduler,
+			BLISSStreak: cell.blissStreak,
+			BLISSClear:  cell.blissClear,
+			HCFirst:     block[0].HCFirst,
+			Viable:      block[0].Viable,
 		}
 		pt.BenignPerfPct = block[0].BenignPerfPct
 		for _, r := range block[:len(block)-1] { // attack cells
@@ -456,7 +679,7 @@ func RunParetoSweep(o ParetoOptions) (*ParetoSweep, error) {
 		sweep.Points = append(sweep.Points, pt)
 	}
 	markFrontier(sweep.Points)
-	return sweep, nil
+	return sweep
 }
 
 // markFrontier sets OnFrontier per HCfirst group: a point is on the
@@ -540,7 +763,7 @@ func (s *ParetoSweep) Format() string {
 					front = "*"
 				}
 				fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%.1f\t%.1f\t%.3f\t%v\t%s\n",
-					p.Mechanism, p.Scheduler, p.EscapedFlips, p.RawFlips,
+					p.Mechanism, p.SchedulerLabel(), p.EscapedFlips, p.RawFlips,
 					p.BenignPerfPct, p.NoAttackPerfPct, p.OverheadPct, p.Viable, front)
 			}
 		}))

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/attack"
+)
+
+// runShards executes a spec unsharded and as every shard of the given
+// count, returning (full, parts).
+func runShards(t *testing.T, spec ExperimentSpec, count int) (*Result, []*Result) {
+	t.Helper()
+	full, err := Run(spec)
+	if err != nil {
+		t.Fatalf("unsharded: %v", err)
+	}
+	var parts []*Result
+	for idx := 0; idx < count; idx++ {
+		s := spec
+		s.Shard = Shard{Index: idx, Count: count}
+		r, err := Run(s)
+		if err != nil {
+			t.Fatalf("shard %d/%d: %v", idx, count, err)
+		}
+		parts = append(parts, r)
+	}
+	return full, parts
+}
+
+// checkShardInvariance is the PR's acceptance criterion: merging every
+// shard of a spec yields a result byte-identical (canonical JSON) to the
+// unsharded run, and the same formatted artifact.
+func checkShardInvariance(t *testing.T, spec ExperimentSpec, count int) {
+	t.Helper()
+	full, parts := runShards(t, spec, count)
+	if !full.Complete() {
+		t.Fatalf("unsharded run incomplete: %d/%d tasks", len(full.Cells), full.Tasks)
+	}
+	covered := 0
+	for _, p := range parts {
+		covered += len(p.Cells)
+	}
+	if covered != full.Tasks {
+		t.Fatalf("shards cover %d cells, want exactly %d (partition broken)", covered, full.Tasks)
+	}
+	merged, err := MergeResults(parts...)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	fullEnc, err := full.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedEnc, err := merged.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fullEnc, mergedEnc) {
+		t.Errorf("merged encoding differs from unsharded run:\n--- unsharded ---\n%s\n--- merged ---\n%s",
+			fullEnc, mergedEnc)
+	}
+	fullText, err := full.Format()
+	if err != nil {
+		t.Fatalf("format unsharded: %v", err)
+	}
+	mergedText, err := merged.Format()
+	if err != nil {
+		t.Fatalf("format merged: %v", err)
+	}
+	if fullText == "" {
+		t.Error("empty formatted artifact")
+	}
+	if fullText != mergedText {
+		t.Errorf("formatted artifact differs:\n--- unsharded ---\n%s\n--- merged ---\n%s",
+			fullText, mergedText)
+	}
+}
+
+// TestShardMergeInvariance covers one characterization grid, the attack
+// grid and the Pareto sweep (plus the two-phase Figure 10), each at two
+// shard counts.
+func TestShardMergeInvariance(t *testing.T) {
+	tinyChar := CharParams{Scale: "tiny", Chips: 2, Iterations: 2}
+	cases := []struct {
+		name   string
+		seed   uint64
+		params any
+	}{
+		{"fig5", 1, tinyChar},
+		{"fig8", 1, tinyChar},
+		{"attack", 7, AttackParams{
+			Patterns:     []attack.Kind{attack.DoubleSided, attack.Scattered},
+			Mechanisms:   []MechanismID{MechNone, MechIdeal},
+			HCSweep:      []int{512},
+			BenignCores:  2,
+			TraceRecords: 800,
+			MemCycles:    150_000,
+			Rows:         1024,
+		}},
+		{"pareto", 7, ParetoParams{
+			Mechanisms:   []MechanismID{MechNone, MechIdeal},
+			Schedulers:   []SchedulerID{SchedFRFCFS, SchedBLISS},
+			Patterns:     []attack.Kind{attack.DoubleSided},
+			HCSweep:      []int{512},
+			BenignCores:  2,
+			TraceRecords: 800,
+			MemCycles:    150_000,
+			Rows:         1024,
+		}},
+		{"fig10", 3, Fig10Params{
+			Mixes:        2,
+			Cores:        2,
+			TraceRecords: 800,
+			WarmupInsts:  500,
+			MeasureInsts: 5_000,
+			HCSweep:      []int{100_000, 2_000},
+			Mechanisms:   []MechanismID{MechPARA, MechIdeal},
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := NewSpec(tc.name, tc.seed, tc.params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, count := range []int{2, 3} {
+				t.Run(fmt.Sprintf("count=%d", count), func(t *testing.T) {
+					checkShardInvariance(t, spec, count)
+				})
+			}
+		})
+	}
+}
+
+// TestParetoBLISSAxes pins the satellite: the BLISS streak/clear spec
+// parameters multiply the scheduler axis, each variant carries its
+// parameters on the point, and the labels distinguish them.
+func TestParetoBLISSAxes(t *testing.T) {
+	spec, err := NewSpec("pareto", 7, ParetoParams{
+		Mechanisms:   []MechanismID{MechNone},
+		Schedulers:   []SchedulerID{SchedBLISS},
+		Patterns:     []attack.Kind{attack.DoubleSided},
+		HCSweep:      []int{512},
+		BenignCores:  2,
+		TraceRecords: 600,
+		MemCycles:    100_000,
+		Rows:         1024,
+		BLISSStreaks: []int{2, 8},
+		BLISSClears:  []int64{20_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := res.Artifact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := art.(*ParetoSweep)
+	if len(sweep.Points) != 2 {
+		t.Fatalf("points = %d, want 2 (one per streak value)", len(sweep.Points))
+	}
+	labels := map[string]bool{}
+	for _, p := range sweep.Points {
+		if p.Scheduler != SchedBLISS {
+			t.Errorf("point scheduler = %s, want BLISS", p.Scheduler)
+		}
+		if p.BLISSClear != 20_000 {
+			t.Errorf("point BLISSClear = %d, want 20000", p.BLISSClear)
+		}
+		labels[p.SchedulerLabel()] = true
+	}
+	for _, want := range []string{"BLISS[s=2,c=20000]", "BLISS[s=8,c=20000]"} {
+		if !labels[want] {
+			t.Errorf("missing scheduler label %q in %v", want, labels)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	spec, err := NewSpec("attack", 7, AttackParams{
+		Mechanisms: []MechanismID{MechNone, MechIdeal},
+		HCSweep:    []int{512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := spec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeSpec(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := dec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Errorf("encode/decode/encode not stable:\n%s\nvs\n%s", enc, enc2)
+	}
+	if dec.Name != "attack" || dec.Seed != 7 {
+		t.Errorf("round-trip lost fields: %+v", dec)
+	}
+}
+
+func TestSpecSeedAndShardNormalization(t *testing.T) {
+	spec, err := DecodeSpec([]byte(`{"name":"table1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 1 {
+		t.Errorf("seed = %d, want 1 (zero normalizes)", spec.Seed)
+	}
+	if spec.Shard != (Shard{Index: 0, Count: 1}) {
+		t.Errorf("shard = %+v, want 0/1", spec.Shard)
+	}
+}
+
+func TestSpecUnknownNameError(t *testing.T) {
+	if _, err := DecodeSpec([]byte(`{"name":"figure99"}`)); err == nil ||
+		!strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("unknown name error = %v, want unknown-experiment", err)
+	}
+	if _, err := NewSpec("nope", 1, nil); err == nil {
+		t.Error("NewSpec accepted an unregistered name")
+	}
+}
+
+func TestSpecBadShardError(t *testing.T) {
+	for _, bad := range []string{
+		`{"name":"table1","shard":{"index":2,"count":2}}`,
+		`{"name":"table1","shard":{"index":-1,"count":4}}`,
+	} {
+		if _, err := DecodeSpec([]byte(bad)); err == nil ||
+			!strings.Contains(err.Error(), "shard") {
+			t.Errorf("%s: error = %v, want shard validation failure", bad, err)
+		}
+	}
+	for _, bad := range []string{"3", "a/b", "4/2", "-1/2", "1/0"} {
+		if _, err := ParseShard(bad); err == nil {
+			t.Errorf("ParseShard(%q) accepted", bad)
+		}
+	}
+	s, err := ParseShard("2/8")
+	if err != nil || s.Index != 2 || s.Count != 8 {
+		t.Errorf("ParseShard(2/8) = %+v, %v", s, err)
+	}
+}
+
+func TestSpecUnknownParamFieldError(t *testing.T) {
+	if _, err := DecodeSpec([]byte(`{"name":"fig5","params":{"scael":"tiny"}}`)); err == nil ||
+		!strings.Contains(err.Error(), "params") {
+		t.Errorf("typoed param error = %v, want bad-params", err)
+	}
+	// Params of another experiment family must not validate.
+	if _, err := DecodeSpec([]byte(`{"name":"fig5","params":{"mem_cycles":1000}}`)); err == nil {
+		t.Error("fig5 accepted attack params")
+	}
+}
+
+func TestParetoParamsRejectNonPositiveBLISSAxes(t *testing.T) {
+	for _, bad := range []string{
+		`{"name":"pareto","params":{"bliss_streaks":[0]}}`,
+		`{"name":"pareto","params":{"bliss_streaks":[-2]}}`,
+		`{"name":"pareto","params":{"bliss_clears":[0,10000]}}`,
+	} {
+		if _, err := DecodeSpec([]byte(bad)); err == nil ||
+			!strings.Contains(err.Error(), "not positive") {
+			t.Errorf("%s: error = %v, want non-positive axis rejection", bad, err)
+		}
+	}
+	if _, err := DecodeSpec([]byte(`{"name":"pareto","params":{"bliss_streaks":[2,8]}}`)); err != nil {
+		t.Errorf("positive axes rejected: %v", err)
+	}
+}
+
+func TestShardPartitionCoversGridExactlyOnce(t *testing.T) {
+	keys := []string{
+		"DDR4-new/Mfr.A/K4-chip00", "DDR4-old/Mfr.C/K9-chip01",
+		"mech=PARA/sched=FR-FCFS/pat=decoy/hc=512",
+		"mech=None/sched=BLISS[s=8,c=20000]/hc=4800/pat=benign-only",
+		"census", "modules", "a", "b", "c", "d", "e", "f",
+	}
+	for count := 1; count <= 5; count++ {
+		for _, key := range keys {
+			owners := 0
+			for idx := 0; idx < count; idx++ {
+				if (Shard{Index: idx, Count: count}).owns(key) {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Errorf("count=%d key=%q owned by %d shards, want exactly 1", count, key, owners)
+			}
+		}
+	}
+}
+
+func TestExperimentsListing(t *testing.T) {
+	infos := Experiments()
+	if len(infos) != len(registry) {
+		t.Fatalf("Experiments() lists %d of %d registered", len(infos), len(registry))
+	}
+	for _, want := range []string{"table1", "table8", "fig4", "fig10", "attack", "pareto"} {
+		found := false
+		for _, e := range infos {
+			if e.Name == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("registry missing %q", want)
+		}
+	}
+	// The listing order is canonical and leads with the paper order.
+	if infos[0].Name != "table1" || infos[len(infos)-1].Name != "pareto" {
+		t.Errorf("unexpected listing order: first=%s last=%s", infos[0].Name, infos[len(infos)-1].Name)
+	}
+}
+
+func TestResultIncompleteArtifactError(t *testing.T) {
+	spec, err := NewSpec("table2", 1, CharParams{Scale: "tiny", Chips: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Shard = Shard{Index: 0, Count: 3}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete() {
+		t.Skip("shard 0/3 happened to own every task")
+	}
+	if _, err := res.Artifact(); err == nil {
+		t.Error("Artifact() succeeded on an incomplete shard result")
+	}
+}
+
+func TestMergeRejectsMismatchedSpecs(t *testing.T) {
+	specA, _ := NewSpec("table1", 1, nil)
+	specB, _ := NewSpec("table1", 2, nil)
+	a, err := Run(specA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(specB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Merge(b); err == nil {
+		t.Error("merge accepted results of different seeds")
+	}
+	if merged, err := a.Merge(a); err != nil || !merged.Complete() {
+		t.Errorf("self-merge (idempotent union) failed: %v", err)
+	}
+}

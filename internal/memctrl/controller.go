@@ -108,6 +108,30 @@ type RequesterStats struct {
 	ServedReads    int64 // reads whose column command issued
 	ThrottledReads int64 // reads rejected at admission by the throttler
 	Blacklistings  int64 // times BLISS blacklisted this requester
+
+	// BusBusyCycles attributes demand DRAM occupancy to the source: tRC
+	// bank-cycles per demand ACT the requester's request caused (the same
+	// upper-bound attribution as Stats.DemandBusyCycles) plus the data-bus
+	// burst cycles of every column command served for it. Together with
+	// the sibling entries it completes the DoS picture: who consumed the
+	// memory system, not just who asked.
+	BusBusyCycles int64
+}
+
+// BusSharePct returns this requester's share of all per-requester
+// attributed demand bus time, in percent (0 when nothing is attributed).
+func (s *Stats) BusSharePct(id int) float64 {
+	if id < 0 || id >= len(s.PerRequester) {
+		return 0
+	}
+	var total int64
+	for _, rs := range s.PerRequester {
+		total += rs.BusBusyCycles
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(s.PerRequester[id].BusBusyCycles) / float64(total)
 }
 
 // maxTrackedRequesters bounds the per-requester stats table. Requester
@@ -249,6 +273,9 @@ func (c *Controller) observeACT(rank, bank, row int, cycle int64) {
 	} else {
 		c.Stats.DemandACTs++
 		c.Stats.DemandBusyCycles += int64(c.ch.T.RC)
+		if rs := c.Stats.reqStats(c.issuingReq); rs != nil {
+			rs.BusBusyCycles += int64(c.ch.T.RC)
+		}
 		if c.throttle != nil {
 			c.throttle.OnRequesterACT(c.issuingReq, bank, row, cycle)
 		}
@@ -706,6 +733,11 @@ func (c *Controller) serveAt(q []*request, i int, write bool) bool {
 	ready := c.ch.Issue(cmd, 0, req.addr.Bank, req.addr.Row, c.cycle)
 	if !req.write && req.onDone != nil {
 		c.returns = append(c.returns, retEvent{cycle: ready, fn: req.onDone})
+	}
+	// Data-bus occupancy: every served column command burns BL clocks of
+	// the shared bus for its requester, row hit or not.
+	if rs := c.Stats.reqStats(req.req); rs != nil {
+		rs.BusBusyCycles += int64(c.ch.T.BL)
 	}
 	if !write {
 		if rs := c.Stats.reqStats(req.req); rs != nil {

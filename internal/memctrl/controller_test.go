@@ -294,6 +294,52 @@ func TestPerRequesterStatsAndACTAttribution(t *testing.T) {
 	}
 }
 
+func TestPerRequesterBusOccupancy(t *testing.T) {
+	ctrl, ch := testController(t, nil)
+	mapper, err := dram.NewAddressMapper(ch.Geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Requester 0 issues many reads across rows (ACT + burst each);
+	// requester 1 issues a single read. The heavy source must own the
+	// overwhelming bus share.
+	served := 0
+	pending := 0
+	for i := 0; i < 40; i++ {
+		ctrl.EnqueueRead(0, mapper.AddressOf(dram.Address{Bank: i % 4, Row: 10 + i}), func() { served++ })
+		pending++
+	}
+	ctrl.EnqueueRead(1, mapper.AddressOf(dram.Address{Bank: 5, Row: 7}), func() { served++ })
+	pending++
+	for i := 0; i < 50_000 && served < pending; i++ {
+		ctrl.Tick()
+	}
+	if served < pending {
+		t.Fatalf("served %d/%d reads", served, pending)
+	}
+	heavy := ctrl.Stats.PerRequester[0]
+	light := ctrl.Stats.PerRequester[1]
+	if heavy.BusBusyCycles == 0 || light.BusBusyCycles == 0 {
+		t.Fatalf("bus occupancy not attributed: heavy=%d light=%d",
+			heavy.BusBusyCycles, light.BusBusyCycles)
+	}
+	// Each served read burns at least the burst; each row miss adds tRC.
+	if min := int64(ch.T.BL); light.BusBusyCycles < min {
+		t.Errorf("light requester bus cycles %d below one burst (%d)", light.BusBusyCycles, min)
+	}
+	if heavy.BusBusyCycles <= 10*light.BusBusyCycles {
+		t.Errorf("heavy requester share not dominant: heavy=%d light=%d",
+			heavy.BusBusyCycles, light.BusBusyCycles)
+	}
+	hs, ls := ctrl.Stats.BusSharePct(0), ctrl.Stats.BusSharePct(1)
+	if hs <= ls || hs+ls > 100.0001 {
+		t.Errorf("BusSharePct: heavy=%.1f light=%.1f", hs, ls)
+	}
+	if ctrl.Stats.BusSharePct(99) != 0 {
+		t.Error("unknown requester has nonzero bus share")
+	}
+}
+
 // blissConfig returns a Table 6 controller with the fairness scheduler on
 // and a tiny streak so tests trigger blacklisting quickly.
 func blissConfig() Config {

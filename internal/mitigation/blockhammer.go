@@ -11,17 +11,23 @@ package mitigation
 // zero extra refreshes; its cost is demand-ACT latency on (truly or
 // falsely) blacklisted rows.
 //
-// Two RowBlocker-Req admission policies are implemented. The default
-// per-requester policy tracks a RowHammer likelihood index (RHLI) per
-// source thread — the thread's activation count on hot rows relative to
-// the blacklist threshold — and rejects queue admission of blacklisted-row
-// requests only from sources whose RHLI marks them as hammerers, so a
-// benign thread that merely touches a (truly or falsely) blacklisted row
-// is never collateral. The legacy blanket policy (NewBlockHammerBlanket,
-// the pre-requester-ID behavior) rejects any blacklisted-row read once the
-// queue is half full, regardless of who asks. Both share the same
-// requester-agnostic RowBlocker-Act spacing, so the security guarantee is
-// identical; they differ only in who pays the queue-admission cost.
+// Three RowBlocker-Req admission policies are implemented. The default
+// proportional policy follows BlockHammer's full design: each source
+// thread carries a RowHammer likelihood index (RHLI) — its activation
+// count on hot rows relative to the blacklist threshold — and a
+// blacklisted-row request is delayed in proportion to its source's RHLI
+// (RHLI × the post-blacklist ACT spacing, capped at an epoch), so a
+// borderline source pays a brief pause while a confirmed hammerer is
+// rate-limited hard; a zero-RHLI thread that merely touches a (truly or
+// falsely) blacklisted row is never collateral. The binary policy
+// (NewBlockHammerBinary, the previous default) rejects blacklisted-row
+// requests outright once the source's RHLI reaches 1 — the comparison
+// baseline for the proportional design. The legacy blanket policy
+// (NewBlockHammerBlanket, the pre-requester-ID behavior) rejects any
+// blacklisted-row read once the queue is half full, regardless of who
+// asks. All three share the same requester-agnostic RowBlocker-Act
+// spacing, so the security guarantee is identical; they differ only in
+// who pays the queue-admission cost, and how much.
 type BlockHammer struct {
 	p Params
 
@@ -41,8 +47,11 @@ type BlockHammer struct {
 	filters    [2]*countMin // [0] active (inserted), [1] previous epoch
 	release    map[int64]int64
 
-	// blanket selects the legacy requester-blind admission policy.
-	blanket bool
+	// policy selects the RowBlocker-Req admission policy.
+	policy admissionPolicy
+	// reqRelease is the proportional policy's per-requester delay window:
+	// a blacklisted-row request from the source is held until this cycle.
+	reqRelease map[int]int64
 	// rhliACTs counts, per requester, issued ACTs whose target row's
 	// estimate had already climbed past rhliRampFrac×NBL — the numerator
 	// of the RowHammer likelihood index. Halved on every epoch rotation,
@@ -125,13 +134,32 @@ const blockHammerSafety = 0.8
 // only at the (budget-bounded, hence slow) post-blacklist trickle.
 const rhliRampFrac = 0.5
 
+// admissionPolicy selects the RowBlocker-Req variant.
+type admissionPolicy int
+
+const (
+	// policyProportional delays blacklisted-row requests by
+	// RHLI × minInterval per BlockHammer's full design (default).
+	policyProportional admissionPolicy = iota
+	// policyBinary rejects blacklisted-row requests outright at RHLI ≥ 1.
+	policyBinary
+	// policyBlanket rejects any blacklisted-row read on a half-full
+	// queue, requester-blind (the pre-requester-ID behavior).
+	policyBlanket
+)
+
 // NewBlockHammer builds the throttler for a chip's HCfirst, with
-// per-requester RowBlocker-Req admission.
+// proportional per-requester RowBlocker-Req admission.
 func NewBlockHammer(p Params) (*BlockHammer, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	m := &BlockHammer{p: p, release: make(map[int64]int64), rhliACTs: make(map[int]float64)}
+	m := &BlockHammer{
+		p:          p,
+		release:    make(map[int64]int64),
+		reqRelease: make(map[int]int64),
+		rhliACTs:   make(map[int]float64),
+	}
 	m.epochLen = p.TREFW / 2
 	if m.epochLen < 1 {
 		m.epochLen = 1
@@ -158,24 +186,40 @@ func NewBlockHammer(p Params) (*BlockHammer, error) {
 	return m, nil
 }
 
+// NewBlockHammerBinary builds the binary per-requester variant: a
+// blacklisted-row request is rejected outright once its source's RHLI
+// reaches 1. It is the comparison baseline for the proportional policy.
+func NewBlockHammerBinary(p Params) (*BlockHammer, error) {
+	m, err := NewBlockHammer(p)
+	if err != nil {
+		return nil, err
+	}
+	m.policy = policyBinary
+	return m, nil
+}
+
 // NewBlockHammerBlanket builds the legacy requester-blind variant: queue
 // admission rejects any blacklisted-row read once the queue is half full,
-// whoever asks. It is the comparison baseline the per-requester policy is
-// measured against.
+// whoever asks. It is the comparison baseline the per-requester policies
+// are measured against.
 func NewBlockHammerBlanket(p Params) (*BlockHammer, error) {
 	m, err := NewBlockHammer(p)
 	if err != nil {
 		return nil, err
 	}
-	m.blanket = true
+	m.policy = policyBlanket
 	return m, nil
 }
 
 func (m *BlockHammer) Name() string {
-	if m.blanket {
+	switch m.policy {
+	case policyBlanket:
 		return "BlockHammer-blanket"
+	case policyBinary:
+		return "BlockHammer-binary"
+	default:
+		return "BlockHammer"
 	}
-	return "BlockHammer"
 }
 
 func (m *BlockHammer) key(bank, row int) int64 { return int64(bank)<<32 | int64(row) }
@@ -189,6 +233,7 @@ func (m *BlockHammer) rotate(cycle int64) {
 		m.filters[0], m.filters[1] = m.filters[1], m.filters[0]
 		m.filters[0].clear()
 		m.release = make(map[int64]int64)
+		m.reqRelease = make(map[int]int64)
 		for k, v := range m.rhliACTs {
 			if v >= 1 {
 				m.rhliACTs[k] = v / 2
@@ -236,10 +281,20 @@ func (m *BlockHammer) ActAllowed(requester, bank, row int, cycle int64) bool {
 	return true
 }
 
-// AdmitRequest implements Throttler's RowBlocker-Req. Per-requester
-// policy: a blacklisted-row read is rejected only when its source's RHLI
-// has reached 1 (the thread has personally driven a blacklist threshold's
-// worth of hot-row activations this epoch pair — it is hammering).
+// AdmitRequest implements Throttler's RowBlocker-Req.
+//
+// Proportional policy (default, BlockHammer's full design): the first
+// blacklisted-row request from a source with a nonzero RHLI opens a delay
+// window of RHLI × minInterval cycles (capped at one epoch); the request
+// and any follow-ups are rejected until the window closes, then admitted.
+// A borderline source (RHLI ≪ 1) pays a pause proportional to its own
+// hot-row activity; a confirmed hammerer (RHLI ≥ 1) is rate-limited to
+// roughly one blacklisted-row admission per spacing interval or worse.
+//
+// Binary policy: a blacklisted-row read is rejected outright while its
+// source's RHLI is ≥ 1 (the thread has personally driven a blacklist
+// threshold's worth of hot-row activations this epoch pair).
+//
 // Blanket policy: any blacklisted-row read is rejected while the queue is
 // at least half full and the row is inside its spacing window.
 func (m *BlockHammer) AdmitRequest(requester, bank, row int, queueLoad float64, cycle int64) bool {
@@ -248,9 +303,9 @@ func (m *BlockHammer) AdmitRequest(requester, bank, row int, queueLoad float64, 
 		return true
 	}
 	// An unknown source cannot accrue an RHLI, so it must never be
-	// privileged by the per-requester policy: fall back to the blanket
+	// privileged by the per-requester policies: fall back to the blanket
 	// rule for it (and for the blanket variant itself).
-	if m.blanket || requester < 0 {
+	if m.policy == policyBlanket || requester < 0 {
 		if queueLoad < 0.5 {
 			return true
 		}
@@ -260,11 +315,34 @@ func (m *BlockHammer) AdmitRequest(requester, bank, row int, queueLoad float64, 
 		}
 		return true
 	}
-	if m.RHLI(requester) >= 1 {
-		m.throttleEvents++
-		return false
+	if m.policy == policyBinary {
+		if m.RHLI(requester) >= 1 {
+			m.throttleEvents++
+			return false
+		}
+		return true
 	}
-	return true
+	// Proportional: serve out any open delay window first.
+	if rel, ok := m.reqRelease[requester]; ok {
+		if cycle < rel {
+			m.throttleEvents++
+			return false
+		}
+		// Window served: this request has paid its RHLI-proportional
+		// delay and goes through; the next one opens a fresh window.
+		delete(m.reqRelease, requester)
+		return true
+	}
+	delay := int64(m.RHLI(requester) * float64(m.minInterval))
+	if delay <= 0 {
+		return true
+	}
+	if delay > m.epochLen {
+		delay = m.epochLen
+	}
+	m.reqRelease[requester] = cycle + delay
+	m.throttleEvents++
+	return false
 }
 
 // OnRequesterACT attributes an issued demand ACT to its source: once the

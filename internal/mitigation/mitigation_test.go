@@ -511,6 +511,84 @@ func TestBlockHammerPerRequesterAdmission(t *testing.T) {
 	}
 }
 
+func TestBlockHammerProportionalDelay(t *testing.T) {
+	p := testParams(2_000)
+	m, err := NewBlockHammer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive requester 0 to a high RHLI and requester 2 to a borderline
+	// one (hot-row ACTs only after the ramp threshold count).
+	hammer := int(3 * m.NBL())
+	for i := 0; i < hammer; i++ {
+		m.OnRequesterACT(0, 0, 700, int64(i))
+		m.OnActivate(0, 700, int64(i), false)
+	}
+	// A few hot ACTs put requester 2 just above zero RHLI.
+	for i := 0; i < 3; i++ {
+		m.OnRequesterACT(2, 0, 700, int64(hammer+i))
+	}
+	cycle := int64(hammer + 3)
+	heavy, light := m.RHLI(0), m.RHLI(2)
+	if heavy < 1 {
+		t.Fatalf("setup: hammering RHLI = %.2f, want ≥1", heavy)
+	}
+	if light <= 0 || light >= 1 {
+		t.Fatalf("setup: borderline RHLI = %.2f, want in (0,1)", light)
+	}
+
+	// Proportional policy: both are rejected at first touch of the
+	// blacklisted row, but the borderline source's delay window closes
+	// sooner — strictly before the hammerer's.
+	if m.AdmitRequest(0, 0, 700, 0, cycle) {
+		t.Fatal("hammerer admitted without serving its delay")
+	}
+	if m.AdmitRequest(2, 0, 700, 0, cycle) {
+		t.Fatal("borderline source admitted without serving its delay")
+	}
+	lightDelay := int64(light * float64(m.MinInterval()))
+	heavyDelay := int64(heavy * float64(m.MinInterval()))
+	if lightDelay >= heavyDelay {
+		t.Fatalf("delays not proportional: light %d vs heavy %d", lightDelay, heavyDelay)
+	}
+	if !m.AdmitRequest(2, 0, 700, 0, cycle+lightDelay) {
+		t.Error("borderline source still rejected after its proportional delay")
+	}
+	if m.AdmitRequest(0, 0, 700, 0, cycle+lightDelay) {
+		t.Error("hammerer admitted after only the borderline delay")
+	}
+	if !m.AdmitRequest(0, 0, 700, 0, cycle+heavyDelay) {
+		t.Error("hammerer still rejected after its full proportional delay")
+	}
+	// A zero-RHLI source is never delayed.
+	if !m.AdmitRequest(1, 0, 700, 0.9, cycle) {
+		t.Error("zero-RHLI source rejected (proportional policy must not take collateral)")
+	}
+
+	// The binary variant rejects the hammerer outright — no delay window
+	// ever re-admits it while its RHLI stays ≥ 1.
+	b, err := NewBlockHammerBinary(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < hammer; i++ {
+		b.OnRequesterACT(0, 0, 700, int64(i))
+		b.OnActivate(0, 700, int64(i), false)
+	}
+	if b.Name() != "BlockHammer-binary" {
+		t.Errorf("binary variant name = %q", b.Name())
+	}
+	bc := int64(hammer)
+	for _, dt := range []int64{0, lightDelay, heavyDelay, 2 * heavyDelay} {
+		if b.AdmitRequest(0, 0, 700, 0, bc+dt) {
+			t.Fatalf("binary policy admitted a RHLI≥1 hammerer at +%d cycles", dt)
+		}
+	}
+	if !b.AdmitRequest(1, 0, 700, 0.9, bc) {
+		t.Error("binary policy rejected a zero-RHLI source")
+	}
+}
+
 func TestBlockHammerRHLISurvivesEpochRotation(t *testing.T) {
 	p := testParams(2_000)
 	m, err := NewBlockHammer(p)

@@ -27,6 +27,15 @@
 // over a deterministic parallel engine: the Parallelism field of
 // Options / MitigationOptions / AttackOptions bounds worker count and
 // changes wall-clock time only — results are bit-identical for any value.
+//
+// Underneath the runners sits the declarative experiment API: every
+// experiment is a named entry in a registry (Experiments()), fully
+// described by a JSON-serializable ExperimentSpec (name + params + seed
+// + shard) and executed by RunExperiment. Specs shard: running every
+// index of a shard count — on one machine or many — and merging the
+// results (MergeResults) reproduces the unsharded artifact byte for
+// byte. The RunX functions are thin wrappers over this path; the rhx
+// CLI exposes it directly (rhx run / merge / list).
 package rowhammer
 
 import (
@@ -121,6 +130,73 @@ func NewPopulation(modules []ModuleSpec, scale Scale, seed uint64) *Population {
 	return chips.NewPopulation(modules, scale, seed)
 }
 
+// --- Declarative experiment API ----------------------------------------
+
+// ExperimentSpec declares one experiment run: a registered name, its
+// parameters (raw JSON, strictly decoded), a seed, and the shard of the
+// task grid to execute. Specs round-trip through JSON.
+type ExperimentSpec = core.ExperimentSpec
+
+// ExperimentShard selects one slice of an experiment's task grid
+// (index/count); ownership hashes stable task keys, so every partition
+// covers the grid exactly once.
+type ExperimentShard = core.Shard
+
+// ExperimentResult is one run's mergeable output: its spec, the grid
+// size, shard-invariant metadata and one cell per executed task. Merging
+// all shards of a spec and encoding canonically reproduces the unsharded
+// run byte for byte; Artifact()/Format() rebuild the typed table/figure.
+type ExperimentResult = core.Result
+
+// ExperimentInfo describes a registry entry (rhx list).
+type ExperimentInfo = core.ExperimentInfo
+
+// ExperimentExec carries execution-only knobs (Parallelism) that never
+// affect results.
+type ExperimentExec = core.Exec
+
+// Experiment parameter blocks, one per experiment family: the
+// characterization grids, Figure 10, the attack grid, and the Pareto
+// sweep (whose BLISSStreaks/BLISSClears fields are the BLISS
+// scheduler-parameter axes).
+type (
+	CharParams   = core.CharParams
+	Fig10Params  = core.Fig10Params
+	AttackParams = core.AttackParams
+	ParetoParams = core.ParetoParams
+)
+
+// Experiments lists the registry in canonical order.
+func Experiments() []ExperimentInfo { return core.Experiments() }
+
+// NewExperimentSpec builds a validated spec from a name, seed and a
+// parameter struct (nil = defaults).
+func NewExperimentSpec(name string, seed uint64, params any) (ExperimentSpec, error) {
+	return core.NewSpec(name, seed, params)
+}
+
+// DecodeExperimentSpec parses and validates a spec from JSON.
+func DecodeExperimentSpec(data []byte) (ExperimentSpec, error) { return core.DecodeSpec(data) }
+
+// ParseExperimentShard parses the "index/count" CLI form.
+func ParseExperimentShard(v string) (ExperimentShard, error) { return core.ParseShard(v) }
+
+// RunExperiment executes a spec's shard of its experiment.
+func RunExperiment(spec ExperimentSpec) (*ExperimentResult, error) { return core.Run(spec) }
+
+// RunExperimentWith executes a spec with explicit execution options.
+func RunExperimentWith(spec ExperimentSpec, ex ExperimentExec) (*ExperimentResult, error) {
+	return core.RunWith(spec, ex)
+}
+
+// DecodeExperimentResult parses an encoded result.
+func DecodeExperimentResult(data []byte) (*ExperimentResult, error) { return core.DecodeResult(data) }
+
+// MergeExperimentResults recombines shard results of one spec.
+func MergeExperimentResults(parts ...*ExperimentResult) (*ExperimentResult, error) {
+	return core.MergeResults(parts...)
+}
+
 // --- Experiments -------------------------------------------------------
 
 // Options scales the characterization experiments. Its Parallelism field
@@ -201,13 +277,18 @@ func NewTWiCe(p MitigationParams, ideal bool) (Mechanism, error) {
 }
 func NewIdealMechanism(p MitigationParams) (Mechanism, error) { return mitigation.NewIdeal(p) }
 
-// NewBlockHammer builds the throttling defense with per-requester
-// RowBlocker-Req queue admission (a per-thread RowHammer likelihood index
-// decides who pays the blacklisted-row admission cost);
-// NewBlockHammerBlanket keeps the legacy requester-blind policy as the
-// comparison baseline. Both share the same RowBlocker-Act spacing, so the
-// security guarantee is identical.
+// NewBlockHammer builds the throttling defense with proportional
+// per-requester RowBlocker-Req queue admission per BlockHammer's full
+// design: a blacklisted-row request is delayed in proportion to its
+// source thread's RowHammer likelihood index. NewBlockHammerBinary keeps
+// the binary RHLI ≥ 1 gate (the previous default) for comparison, and
+// NewBlockHammerBlanket the legacy requester-blind policy. All three
+// share the same RowBlocker-Act spacing, so the security guarantee is
+// identical.
 func NewBlockHammer(p MitigationParams) (Mechanism, error) { return mitigation.NewBlockHammer(p) }
+func NewBlockHammerBinary(p MitigationParams) (Mechanism, error) {
+	return mitigation.NewBlockHammerBinary(p)
+}
 func NewBlockHammerBlanket(p MitigationParams) (Mechanism, error) {
 	return mitigation.NewBlockHammerBlanket(p)
 }
