@@ -1,0 +1,132 @@
+// Command rhdodge runs the TRR dodge study: a (sampler rate × table size
+// × pattern × duty-cycle × phase) grid of mixed attacker+benign
+// simulations against the in-DRAM counter-sampled TRR model, reporting
+// escaped flips, the sampler's effort, and the per-REF timeline evidence
+// of the dodge. Duty cycle 0 (always included by default) is the
+// full-rate baseline; the study's headline finding is a paced attack
+// escaping a sampler configuration that blocks the same attack at full
+// rate.
+//
+// rhdodge is a flag front end over the "trr-dodge" experiment of the
+// declarative registry: -emit-spec prints the equivalent spec, which
+// `rhx run` executes (or shards) identically.
+//
+// Usage:
+//
+//	rhdodge                                        # default grid
+//	rhdodge -duty 0,0.25,0.5 -phases 0,0.5         # pacing axes
+//	rhdodge -rates 0.25,0.5,1 -tables 2,4,8        # sampler axes
+//	rhdodge -patterns double-sided,many-sided      # TRRespass-style table thrash
+//	rhdodge -hc 512 -rows 4096 -cycles 1000000
+//	rhdodge -emit-spec > dodge.json && rhx run -spec dodge.json -shard 0/2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+)
+
+func parseFloats(flagName, v string) []float64 {
+	var out []float64
+	for _, s := range strings.Split(v, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rhdodge: bad %s value %q\n", flagName, s)
+			os.Exit(2)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func parseInts(flagName, v string) []int {
+	var out []int
+	for _, s := range strings.Split(v, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rhdodge: bad %s value %q\n", flagName, s)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func main() {
+	d := core.DefaultTRRDodgeParams()
+	var (
+		patternsStr = flag.String("patterns", "", "comma-separated attack patterns (default: double-sided)")
+		dutyStr     = flag.String("duty", "", "comma-separated duty cycles in [0,1); 0 is the full-rate baseline (default: 0,0.25,0.5)")
+		phasesStr   = flag.String("phases", "", "comma-separated phases in [0,1) for paced cells (default: 0,0.5)")
+		ratesStr    = flag.String("rates", "", "comma-separated sampler rates in (0,1] (default: 0.5)")
+		tablesStr   = flag.String("tables", "", "comma-separated sampler table sizes per bank (default: 4)")
+		hc          = flag.Int("hc", d.HCFirst, "victim chip HCfirst")
+		benign      = flag.Int("benign", d.BenignCores, "benign cores sharing the system with the attacker")
+		records     = flag.Int("records", d.TraceRecords, "memory records per benign trace")
+		cycles      = flag.Int64("cycles", d.MemCycles, "attack duration in memory-clock cycles")
+		rows        = flag.Int("rows", 0, "rows per bank (0 = Table 6's 16384)")
+		ecc         = flag.Bool("ecc", false, "evaluate LPDDR4-like chips with on-die ECC (post-correction flips + raw counts)")
+		parallel    = flag.Int("parallel", 0, "concurrent simulations (0 = all cores; output is identical for any value)")
+		seed        = flag.Uint64("seed", 1, "evaluation seed")
+		emitSpec    = flag.Bool("emit-spec", false, "print the experiment spec JSON instead of running it")
+	)
+	flag.Parse()
+
+	p := core.TRRDodgeParams{
+		HCFirst:      *hc,
+		BenignCores:  *benign,
+		TraceRecords: *records,
+		MemCycles:    *cycles,
+		Rows:         *rows,
+		ECC:          *ecc,
+	}
+	if *patternsStr != "" {
+		for _, s := range strings.Split(*patternsStr, ",") {
+			p.Patterns = append(p.Patterns, attack.Kind(strings.TrimSpace(s)))
+		}
+	}
+	if *dutyStr != "" {
+		p.DutyCycles = parseFloats("duty", *dutyStr)
+	}
+	if *phasesStr != "" {
+		p.Phases = parseFloats("phases", *phasesStr)
+	}
+	if *ratesStr != "" {
+		p.SampleRates = parseFloats("rates", *ratesStr)
+	}
+	if *tablesStr != "" {
+		p.TableSizes = parseInts("tables", *tablesStr)
+	}
+
+	spec, err := core.NewSpec("trr-dodge", *seed, p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhdodge: %v\n", err)
+		os.Exit(2)
+	}
+	if *emitSpec {
+		data, err := spec.Encode()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rhdodge: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(data)
+		return
+	}
+	res, err := core.RunWith(spec, core.Exec{Parallelism: *parallel})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhdodge: %v\n", err)
+		os.Exit(1)
+	}
+	out, err := res.Format()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhdodge: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(out)
+}

@@ -228,14 +228,19 @@ func TestDutyCyclePacing(t *testing.T) {
 	if len(paced.Records) != len(continuous.Records) {
 		t.Fatalf("pacing changed the record count: %d vs %d", len(paced.Records), len(continuous.Records))
 	}
-	// The paced stream idles through 75% of each period in gap
-	// instructions the continuous stream doesn't have.
+	// Every paced record is serialized (at least the serialization gap on
+	// top of the continuous stream's gap), and burst boundaries addit-
+	// ionally idle through 75% of each period in gap instructions.
 	idles := 0
 	for i := range paced.Records {
 		if paced.Records[i].Addr != continuous.Records[i].Addr {
 			t.Fatalf("record %d: pacing changed the access stream", i)
 		}
-		if paced.Records[i].Gap > continuous.Records[i].Gap {
+		extra := paced.Records[i].Gap - continuous.Records[i].Gap
+		if extra < serialGapInsts {
+			t.Fatalf("record %d: paced gap %d lacks the serialization gap", i, paced.Records[i].Gap)
+		}
+		if extra > serialGapInsts {
 			idles++
 		}
 	}
@@ -264,7 +269,7 @@ func TestDutyCyclePacing(t *testing.T) {
 	idleAt := func(recs []trace.Record) []int {
 		var out []int
 		for i := range recs {
-			if recs[i].Gap > continuous.Records[i].Gap {
+			if recs[i].Gap > continuous.Records[i].Gap+serialGapInsts {
 				out = append(out, i)
 			}
 		}
@@ -281,8 +286,87 @@ func TestDutyCyclePacing(t *testing.T) {
 	if (phasedIdx[1] - phasedIdx[0]) != (baseIdx[1] - baseIdx[0]) {
 		t.Errorf("phase changed the burst period: %d vs %d", phasedIdx[1]-phasedIdx[0], baseIdx[1]-baseIdx[0])
 	}
-	if phased.Records[0].Gap != continuous.Records[0].Gap {
+	if phased.Records[0].Gap != unphased.Records[0].Gap {
 		t.Error("phase added a one-time prefix delay; it would re-apply on every replay pass")
+	}
+}
+
+// TestSpecValidateRejectsOutOfRangePacing pins the bugfix: out-of-range
+// DutyCycle/Phase used to be silently ignored (the attack ran unpaced);
+// they must be validation errors in both Validate and Synthesize.
+func TestSpecValidateRejectsOutOfRangePacing(t *testing.T) {
+	geo := testGeo()
+	target := Target{Bank: 0, Row: 200}
+	bad := []Spec{
+		{Kind: DoubleSided, DutyCycle: 1},
+		{Kind: DoubleSided, DutyCycle: 1.5},
+		{Kind: DoubleSided, DutyCycle: -0.1},
+		{Kind: DoubleSided, DutyCycle: 0.5, Phase: 1},
+		{Kind: DoubleSided, DutyCycle: 0.5, Phase: 2.5},
+		{Kind: DoubleSided, DutyCycle: 0.5, Phase: -0.25},
+		// Phase without pacing would be silently ignored — also an error.
+		{Kind: DoubleSided, Phase: 0.5},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate accepted duty=%g phase=%g", s.DutyCycle, s.Phase)
+		}
+		if _, _, err := s.Synthesize(geo, target); err == nil {
+			t.Errorf("Synthesize accepted duty=%g phase=%g", s.DutyCycle, s.Phase)
+		}
+	}
+	for _, s := range []Spec{
+		{Kind: DoubleSided},
+		{Kind: DoubleSided, DutyCycle: 0.99, Phase: 0.99},
+		{Kind: DoubleSided, DutyCycle: 0.01},
+	} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate rejected duty=%g phase=%g: %v", s.DutyCycle, s.Phase, err)
+		}
+	}
+	// A trace too short to hold even one burst plus an idle stretch would
+	// silently replay as a full-rate attack: Synthesize must reject it.
+	short := Spec{Kind: DoubleSided, Records: 20, DutyCycle: 0.25}
+	if _, _, err := short.Synthesize(geo, target); err == nil {
+		t.Error("Synthesize accepted a trace shorter than one duty-cycle burst")
+	}
+}
+
+// TestPhaseSurvivesSmallBursts pins the bugfix: on bursts small enough
+// that Phase×burst truncated to zero, the requested phase used to be
+// dropped entirely; the shift now rounds up to at least one record.
+func TestPhaseSurvivesSmallBursts(t *testing.T) {
+	geo := testGeo()
+	target := Target{Bank: 1, Row: 300}
+	// A tiny period gives a burst of very few records, so Phase×burst < 1.
+	base := Spec{Kind: DoubleSided, Records: 64, Seed: 3, DutyCycle: 0.2, PeriodCycles: 1000}
+	burst := int(base.DutyCycle * float64(base.PeriodCycles) / serialACTCycles)
+	if burst < 1 {
+		burst = 1
+	}
+	if int(0.2*float64(burst)) != 0 {
+		// Guard: the scenario must actually exercise the truncation path.
+		t.Fatalf("test burst %d too large to exercise shift truncation", burst)
+	}
+	unphased, _, err := base.Synthesize(geo, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phasedSpec := base
+	phasedSpec.Phase = 0.2
+	phased, _, err := phasedSpec.Synthesize(geo, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range phased.Records {
+		if phased.Records[i].Gap != unphased.Records[i].Gap {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("phase 0.2 on a small burst changed nothing; the shift truncated to zero")
 	}
 }
 

@@ -70,18 +70,20 @@ type Spec struct {
 	// cyclically; default 2048).
 	Records int `json:"records,omitempty"`
 
-	// DutyCycle in (0,1) paces the stream against the refresh interval:
+	// DutyCycle in [0,1) paces the stream against the refresh interval:
 	// the attacker hammers for DutyCycle×PeriodCycles, then idles through
 	// the rest of the period in non-memory instructions — the structure
 	// real refresh-synchronized attacks use to dodge TRR sampling windows
-	// around REF commands. 0 (the default) or ≥1 hammers continuously.
+	// around REF commands. 0 (the default) hammers continuously; any
+	// value outside [0,1) is rejected by Validate/Synthesize.
 	DutyCycle float64 `json:"duty_cycle,omitempty"`
-	// Phase in (0,1) shifts where within each period the burst falls (the
+	// Phase in [0,1) shifts where within each period the burst falls (the
 	// first burst is shortened by Phase of a burst, moving every later
 	// burst boundary by the same amount). Only meaningful together with
 	// DutyCycle pacing: the shift is part of the periodic structure, so
 	// it survives the trace's cyclic replay instead of re-applying a
-	// one-time delay every pass.
+	// one-time delay every pass. Values outside [0,1) are rejected by
+	// Validate/Synthesize.
 	Phase float64 `json:"phase,omitempty"`
 	// PeriodCycles is the pacing period in memory-clock cycles (default:
 	// the DDR4-2400 tREFI, 9363).
@@ -93,11 +95,30 @@ type Spec struct {
 // Burst pacing converts memory-clock cycles into trace structure through
 // two approximations of the Table 6 system: an idle memory cycle costs
 // the 4 GHz, 4-wide core idleInstsPerMemCycle gap instructions, and one
-// hammering record costs about one row cycle (tRC) at the controller.
+// serialized hammering record costs serialACTCycles at the controller.
 const (
 	idleInstsPerMemCycle = 13 // ceil(4000/1200 CPU cycles) × 4-wide issue
-	approxACTCycles      = 56 // ≈ tRC of DDR4-2400 in memory clocks
 	defaultPeriodCycles  = 9363
+	// serialGapInsts spaces the records inside a paced burst so the
+	// hammering is serialized, like the flush+dependency loops of real
+	// refresh-synchronized attacks: any value past the 128-entry
+	// instruction window guarantees at most one outstanding load (younger
+	// instructions cannot retire past the in-flight load, so issue stalls
+	// at window-full until it returns). Serialization is what keeps every
+	// burst access an activation — a burst issued with full memory-level
+	// parallelism lands as one batch in an idle controller queue, where
+	// FR-FCFS merges the alternating-row accesses into row-buffer hits.
+	serialGapInsts = 200
+	// serialACTCycles is the measured cost of one serialized flush+load
+	// round trip (uncached load latency plus the trailing gap issue) on
+	// the Table 6 system; paced bursts are sized with it so a burst's
+	// wall-clock length comes out at DutyCycle×PeriodCycles. It is
+	// deliberately a touch above the true cost: the attack's natural
+	// period then runs 2-3% short of the refresh interval, and the REF
+	// stall absorbs the slack each interval — the stream self-locks to
+	// the refresh schedule exactly as real refresh-synchronized attacks
+	// do, instead of drifting through it.
+	serialACTCycles = 62
 )
 
 // Target anchors an attack at a victim row (for Scattered, the first of
@@ -111,6 +132,24 @@ type Target struct {
 // aggressor ACT rate.
 type RowRef struct {
 	Bank, Row int
+}
+
+// Validate rejects pacing parameters outside their domain. duty_cycle
+// and phase must both lie in [0,1): 0 disables pacing, values in (0,1)
+// pace the stream, and anything else is an error rather than a silent
+// no-op (a spec that asked for pacing and didn't get it would evaluate
+// the wrong attack).
+func (s Spec) Validate() error {
+	if s.DutyCycle < 0 || s.DutyCycle >= 1 {
+		return fmt.Errorf("attack: duty_cycle %g outside [0,1) (0 disables pacing)", s.DutyCycle)
+	}
+	if s.Phase < 0 || s.Phase >= 1 {
+		return fmt.Errorf("attack: phase %g outside [0,1) (0 disables the shift)", s.Phase)
+	}
+	if s.Phase > 0 && s.DutyCycle == 0 {
+		return fmt.Errorf("attack: phase %g without duty_cycle pacing would be silently ignored; set duty_cycle too", s.Phase)
+	}
+	return nil
 }
 
 func (s Spec) normalized() Spec {
@@ -144,28 +183,59 @@ func (s Spec) normalized() Spec {
 // the record that opens the next burst) sized so the stream is active for
 // roughly DutyCycle of each period. Phase shortens the first burst,
 // shifting every later burst boundary by Phase of a burst — a periodic
-// rearrangement, so cyclic replay preserves it.
-func (s Spec) paceRecords(recs []trace.Record) {
+// rearrangement, so cyclic replay preserves it. The fractional part of
+// each period's idle-instruction budget carries over to the next period,
+// so the achieved active fraction does not drift from the requested one
+// however many periods the stream spans.
+//
+// Burst records are serialized to one access per row cycle (the
+// flush+dependency structure real refresh-synchronized attacks use):
+// burst sizing assumes each record costs an activation, and a burst
+// issued with full memory-level parallelism would instead land as one
+// batch in an idle controller queue, where FR-FCFS merges the
+// alternating-row accesses into row-buffer hits — a couple of ACTs per
+// burst, which is no hammering at all.
+func (s Spec) paceRecords(recs []trace.Record) error {
 	if len(recs) == 0 || s.DutyCycle <= 0 || s.DutyCycle >= 1 {
-		return
+		return nil
 	}
-	burst := int(s.DutyCycle * float64(s.PeriodCycles) / approxACTCycles)
+	burst := int(s.DutyCycle * float64(s.PeriodCycles) / serialACTCycles)
 	if burst < 1 {
 		burst = 1
 	}
-	idleGap := int((1 - s.DutyCycle) * float64(s.PeriodCycles) * idleInstsPerMemCycle)
+	if len(recs) <= burst {
+		// Shorter traces would carry no idle stretch at all — cyclic
+		// replay of an all-burst trace is a full-rate attack, the silent
+		// wrong-answer this validation exists to prevent.
+		return fmt.Errorf("attack: %d records cannot express duty_cycle %g (one burst is %d records); raise records or lower duty_cycle",
+			len(recs), s.DutyCycle, burst)
+	}
+	for i := range recs {
+		recs[i].Gap += serialGapInsts
+	}
+	idlePerPeriod := (1 - s.DutyCycle) * float64(s.PeriodCycles) * idleInstsPerMemCycle
 	first := burst
 	if s.Phase > 0 && s.Phase < 1 {
-		if shift := int(s.Phase * float64(burst)); shift > 0 {
-			first = burst - shift
-			if first < 1 {
-				first = 1
-			}
+		// Round the shift up to at least one record: on small bursts a
+		// truncated-to-zero shift used to drop the requested phase
+		// entirely.
+		shift := int(s.Phase * float64(burst))
+		if shift < 1 {
+			shift = 1
+		}
+		first = burst - shift
+		if first < 1 {
+			first = 1
 		}
 	}
+	carry := 0.0
 	for i := first; i < len(recs); i += burst {
-		recs[i].Gap += idleGap
+		carry += idlePerPeriod
+		idle := int(carry)
+		carry -= float64(idle)
+		recs[i].Gap += idle
 	}
+	return nil
 }
 
 // Synthesize builds the attacker's access stream against the target as a
@@ -174,6 +244,9 @@ func (s Spec) paceRecords(recs []trace.Record) {
 // clamped away from the bank edges so every pattern has room for its
 // aggressors.
 func (s Spec) Synthesize(geo dram.Geometry, t Target) (*trace.Trace, []RowRef, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
 	s = s.normalized()
 	mapper, err := dram.NewAddressMapper(geo)
 	if err != nil {
@@ -271,7 +344,9 @@ func (s Spec) Synthesize(geo dram.Geometry, t Target) (*trace.Trace, []RowRef, e
 		addr := mapper.AddressOf(dram.Address{Bank: ref.Bank, Row: ref.Row, Col: col})
 		tr.Records = append(tr.Records, trace.Record{Gap: s.Gap, Addr: addr, NoCache: true})
 	}
-	s.paceRecords(tr.Records)
+	if err := s.paceRecords(tr.Records); err != nil {
+		return nil, nil, err
+	}
 	return tr, refs, nil
 }
 

@@ -166,6 +166,16 @@ type AttackParams struct {
 	Attack *attack.Spec `json:"attack,omitempty"`
 }
 
+// Validate rejects attack pacing outside its [0,1) domain at spec
+// decode, so a mistyped duty_cycle/phase fails validation instead of
+// silently evaluating an unpaced stream.
+func (p *AttackParams) Validate() error {
+	if p.Attack != nil {
+		return p.Attack.Validate()
+	}
+	return nil
+}
+
 // options expands the params into the imperative AttackOptions form.
 func (p AttackParams) options(seed uint64) AttackOptions {
 	o := AttackOptions{

@@ -40,6 +40,13 @@ const (
 	// queue is half full) — the baseline the per-thread policies are
 	// measured against.
 	MechBlockHammerBlanket MechanismID = "BlockHammer-blanket"
+	// MechTRR is the in-DRAM counter-sampled Target Row Refresh model
+	// (default sampler parameters): a small per-bank sampler table fed by
+	// the activation stream in the observation window before each REF,
+	// with neighbour refreshes piggybacked on REF commands. It is the
+	// defense the trr-dodge experiment paces attacks around; that
+	// experiment sweeps the sampler's rate/table-size axes directly.
+	MechTRR MechanismID = "TRR"
 )
 
 // AllMechanisms lists the Figure 10 series in plotting order.
@@ -62,6 +69,8 @@ func buildMechanism(id MechanismID, cfg sim.Config, hcFirst int, seed uint64) (m
 		return mitigation.NewBlockHammerBinary(p)
 	case MechBlockHammerBlanket:
 		return mitigation.NewBlockHammerBlanket(p)
+	case MechTRR:
+		return mitigation.NewTRR(p)
 	case MechIncreasedRefresh:
 		return mitigation.NewIncreasedRefresh(p)
 	case MechPARA:

@@ -166,6 +166,14 @@ type sweepCell struct {
 	blissStreak int
 	blissClear  int64
 	streamSeed  uint64
+	// duty / phase override the shared attack spec's pacing for this cell
+	// (the trr-dodge grid takes them as axes); duty 0 keeps the shared
+	// cellOptions.Spec values (full rate unless the spec paces).
+	duty, phase float64
+	// trr, when non-nil, builds the cell's mechanism as a TRR sampler
+	// with this configuration instead of going through buildMechanism —
+	// the trr-dodge grid's sampler rate/table-size axes.
+	trr *mitigation.TRRConfig
 }
 
 // cellOptions carries the system-shape knobs runSweepCell needs; both
@@ -184,12 +192,29 @@ type cellOptions struct {
 func runSweepCell(cfg sim.Config, o cellOptions, cell sweepCell,
 	benign trace.Mix, baseIPC []float64, mechSeed uint64,
 ) (*AttackPoint, error) {
+	pt, _, _, err := runSweepCellObs(cfg, o, cell, benign, baseIPC, mechSeed)
+	return pt, err
+}
+
+// runSweepCellObs is runSweepCell exposing the run's observer and
+// mechanism, for grids (trr-dodge) whose cell payload carries per-REF
+// timeline evidence and mechanism-internal counters. The observer is nil
+// for benign-only cells.
+func runSweepCellObs(cfg sim.Config, o cellOptions, cell sweepCell,
+	benign trace.Mix, baseIPC []float64, mechSeed uint64,
+) (*AttackPoint, *attack.Observer, mitigation.Mechanism, error) {
 	if err := applyScheduler(&cfg, cell.Sched, cell.blissStreak, cell.blissClear); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	mech, err := buildMechanism(cell.Mech, cfg, cell.HC, mechSeed^0x3eca)
+	var mech mitigation.Mechanism
+	var err error
+	if cell.trr != nil {
+		mech, err = mitigation.NewTRRWithConfig(cfg.MitigationParams(cell.HC, mechSeed^0x3eca), *cell.trr)
+	} else {
+		mech, err = buildMechanism(cell.Mech, cfg, cell.HC, mechSeed^0x3eca)
+	}
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 
 	mix := trace.Mix{Name: "benign-only"}
@@ -197,7 +222,7 @@ func runSweepCell(cfg sim.Config, o cellOptions, cell sweepCell,
 	if cell.Pattern != "" {
 		chip, err := attackChip(cfg, cell.HC, cell.streamSeed, o.ECC)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		// The attacker has profiled the chip (the strong threat model of
 		// Section 6): aim at the weakest cell's row.
@@ -206,9 +231,13 @@ func runSweepCell(cfg sim.Config, o cellOptions, cell sweepCell,
 		spec.Kind = cell.Pattern
 		spec.Records = o.AttackRecords
 		spec.Seed = cell.streamSeed ^ 0xdec0
+		if cell.duty > 0 {
+			spec.DutyCycle = cell.duty
+			spec.Phase = cell.phase
+		}
 		attackTrace, aggressors, err := spec.Synthesize(cfg.Geo, attack.Target{Bank: weak.Bank, Row: weak.Row})
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		obs = attack.NewObserver(chip)
 		obs.WatchAggressors(aggressors)
@@ -224,7 +253,7 @@ func runSweepCell(cfg sim.Config, o cellOptions, cell sweepCell,
 	}
 	res, err := sim.Run(runCfg, mix)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 
 	pt := &AttackPoint{
@@ -258,7 +287,12 @@ func runSweepCell(cfg sim.Config, o cellOptions, cell sweepCell,
 	// Benign performance: weighted speedup of the benign cores against
 	// their unattacked, unmitigated baseline. In an attack cell the benign
 	// cores sit at positions 1..N behind the attacker; in a benign-only
-	// cell they are the whole mix.
+	// cell they are the whole mix. An attacker-only run (trr-dodge with
+	// BenignCores 0) has no benign side to measure: -1.
+	if len(baseIPC) == 0 {
+		pt.BenignPerfPct = -1
+		return pt, obs, mech, nil
+	}
 	off := 0
 	if cell.Pattern != "" {
 		off = 1
@@ -268,7 +302,7 @@ func runSweepCell(cfg sim.Config, o cellOptions, cell sweepCell,
 		ws += res.IPC[i+off] / b
 	}
 	pt.BenignPerfPct = 100 * ws / float64(len(baseIPC))
-	return pt, nil
+	return pt, obs, mech, nil
 }
 
 // --- Pareto sweep --------------------------------------------------------
@@ -419,8 +453,14 @@ type ParetoParams struct {
 }
 
 // Validate rejects axis values the grid cannot distinguish from the
-// defaults (labels would collide into duplicate task keys).
+// defaults (labels would collide into duplicate task keys), and attack
+// pacing outside its [0,1) domain.
 func (p *ParetoParams) Validate() error {
+	if p.Attack != nil {
+		if err := p.Attack.Validate(); err != nil {
+			return err
+		}
+	}
 	for _, s := range p.BLISSStreaks {
 		if s <= 0 {
 			return fmt.Errorf("core: pareto bliss_streaks value %d not positive (omit the field for the controller default)", s)

@@ -38,7 +38,7 @@ var registry = map[string]*experiment{}
 var experimentOrder = []string{
 	"table1", "table2", "fig4", "table3", "fig5", "fig6", "fig7",
 	"fig8", "table4", "fig9", "table5", "table7", "table8",
-	"fig10", "attack", "pareto",
+	"fig10", "attack", "pareto", "trr-dodge",
 }
 
 func register(e *experiment) {

@@ -118,6 +118,16 @@ func TestShardMergeInvariance(t *testing.T) {
 			HCSweep:      []int{100_000, 2_000},
 			Mechanisms:   []MechanismID{MechPARA, MechIdeal},
 		}},
+		{"trr-dodge", 7, TRRDodgeParams{
+			Patterns:    []attack.Kind{attack.DoubleSided},
+			DutyCycles:  []float64{0, 0.25},
+			Phases:      []float64{0, 0.5},
+			SampleRates: []float64{0.5},
+			TableSizes:  []int{4},
+			HCFirst:     256,
+			MemCycles:   150_000,
+			Rows:        1024,
+		}},
 	}
 	for _, tc := range cases {
 		tc := tc

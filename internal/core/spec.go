@@ -100,7 +100,7 @@ func keyHash(key string) uint64 {
 // spec file plus a shard assignment is everything a worker process needs.
 type ExperimentSpec struct {
 	// Name selects a registered experiment ("table1" … "fig10",
-	// "attack", "pareto"; see Experiments()).
+	// "attack", "pareto", "trr-dodge"; see Experiments()).
 	Name string `json:"name"`
 	// Seed is the base seed of every derived per-task seed; 0 means 1.
 	Seed uint64 `json:"seed,omitempty"`

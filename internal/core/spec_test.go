@@ -105,6 +105,36 @@ func TestParetoParamsRejectNonPositiveBLISSAxes(t *testing.T) {
 	}
 }
 
+// TestAttackPacingSpecValidation pins the bugfix at the spec layer:
+// out-of-range duty_cycle/phase inside the attack/pareto families' attack
+// block must fail strict decode with a clear error, not silently run an
+// unpaced stream.
+func TestAttackPacingSpecValidation(t *testing.T) {
+	bad := []struct{ spec, want string }{
+		{`{"name":"attack","params":{"attack":{"duty_cycle":1.5}}}`, "duty_cycle"},
+		{`{"name":"attack","params":{"attack":{"duty_cycle":1}}}`, "duty_cycle"},
+		{`{"name":"attack","params":{"attack":{"duty_cycle":-0.25}}}`, "duty_cycle"},
+		{`{"name":"attack","params":{"attack":{"duty_cycle":0.5,"phase":1.25}}}`, "phase"},
+		{`{"name":"pareto","params":{"attack":{"duty_cycle":2}}}`, "duty_cycle"},
+		{`{"name":"pareto","params":{"attack":{"phase":-0.5}}}`, "phase"},
+		// Phase without duty_cycle would be a silent no-op: rejected too.
+		{`{"name":"attack","params":{"attack":{"phase":0.5}}}`, "phase"},
+	}
+	for _, b := range bad {
+		if _, err := DecodeSpec([]byte(b.spec)); err == nil || !strings.Contains(err.Error(), b.want) {
+			t.Errorf("%s: error = %v, want mention of %q", b.spec, err, b.want)
+		}
+	}
+	for _, good := range []string{
+		`{"name":"attack","params":{"attack":{"duty_cycle":0.5,"phase":0.25}}}`,
+		`{"name":"pareto","params":{"attack":{"duty_cycle":0.99}}}`,
+	} {
+		if _, err := DecodeSpec([]byte(good)); err != nil {
+			t.Errorf("%s: rejected: %v", good, err)
+		}
+	}
+}
+
 func TestShardPartitionCoversGridExactlyOnce(t *testing.T) {
 	keys := []string{
 		"DDR4-new/Mfr.A/K4-chip00", "DDR4-old/Mfr.C/K9-chip01",
@@ -132,7 +162,7 @@ func TestExperimentsListing(t *testing.T) {
 	if len(infos) != len(registry) {
 		t.Fatalf("Experiments() lists %d of %d registered", len(infos), len(registry))
 	}
-	for _, want := range []string{"table1", "table8", "fig4", "fig10", "attack", "pareto"} {
+	for _, want := range []string{"table1", "table8", "fig4", "fig10", "attack", "pareto", "trr-dodge"} {
 		found := false
 		for _, e := range infos {
 			if e.Name == want {
@@ -145,7 +175,7 @@ func TestExperimentsListing(t *testing.T) {
 		}
 	}
 	// The listing order is canonical and leads with the paper order.
-	if infos[0].Name != "table1" || infos[len(infos)-1].Name != "pareto" {
+	if infos[0].Name != "table1" || infos[len(infos)-1].Name != "trr-dodge" {
 		t.Errorf("unexpected listing order: first=%s last=%s", infos[0].Name, infos[len(infos)-1].Name)
 	}
 }

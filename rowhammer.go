@@ -18,7 +18,11 @@
 //   - The attack subsystem (AttackSpec, HammerObserver, RunAttackEval):
 //     adversarial hammering streams as first-class traces, coupled to the
 //     fault model through the controller's command stream — the security
-//     side of the mitigation evaluation the paper doesn't contain.
+//     side of the mitigation evaluation the paper doesn't contain. The
+//     TRR dodge study (NewTRR, RunTRRDodge) closes the loop on in-DRAM
+//     sampling defenses: refresh-synchronized duty-cycle pacing
+//     (AttackSpec.DutyCycle/Phase) escapes a sampler that blocks the
+//     same attack at full rate.
 //
 // The experiment runners (RunTable1 … RunFigure10, RunAttackEval)
 // regenerate every table and figure of the paper plus the attack
@@ -156,14 +160,16 @@ type ExperimentInfo = core.ExperimentInfo
 type ExperimentExec = core.Exec
 
 // Experiment parameter blocks, one per experiment family: the
-// characterization grids, Figure 10, the attack grid, and the Pareto
-// sweep (whose BLISSStreaks/BLISSClears fields are the BLISS
-// scheduler-parameter axes).
+// characterization grids, Figure 10, the attack grid, the Pareto sweep
+// (whose BLISSStreaks/BLISSClears fields are the BLISS
+// scheduler-parameter axes), and the TRR dodge study (duty-cycle/phase
+// pacing × sampler rate/table-size).
 type (
-	CharParams   = core.CharParams
-	Fig10Params  = core.Fig10Params
-	AttackParams = core.AttackParams
-	ParetoParams = core.ParetoParams
+	CharParams     = core.CharParams
+	Fig10Params    = core.Fig10Params
+	AttackParams   = core.AttackParams
+	ParetoParams   = core.ParetoParams
+	TRRDodgeParams = core.TRRDodgeParams
 )
 
 // Experiments lists the registry in canonical order.
@@ -293,6 +299,20 @@ func NewBlockHammerBlanket(p MitigationParams) (Mechanism, error) {
 	return mitigation.NewBlockHammerBlanket(p)
 }
 
+// TRRConfig parameterizes the in-DRAM counter-sampled Target Row Refresh
+// model: sampling rate, per-bank table size, service threshold and the
+// observation-window fraction of each refresh interval.
+type TRRConfig = mitigation.TRRConfig
+
+// NewTRR builds the TRR sampler with default parameters; NewTRRWithConfig
+// takes explicit ones (zero fields keep the defaults). TRR is the
+// sampling defense the trr-dodge experiment paces attacks around
+// (mechanism ID "TRR" in the attack/pareto grids).
+func NewTRR(p MitigationParams) (Mechanism, error) { return mitigation.NewTRR(p) }
+func NewTRRWithConfig(p MitigationParams, cfg TRRConfig) (Mechanism, error) {
+	return mitigation.NewTRRWithConfig(p, cfg)
+}
+
 // RequesterNone marks a memory request whose source thread is unknown.
 const RequesterNone = mitigation.RequesterNone
 
@@ -396,6 +416,27 @@ func DefaultParetoOptions() ParetoOptions { return core.DefaultParetoOptions() }
 // generalized with a scheduler axis. Results are bit-identical for any
 // Parallelism.
 func RunParetoSweep(o ParetoOptions) (*ParetoSweep, error) { return core.RunParetoSweep(o) }
+
+// TRRDodge is the duty-cycle dodge study's result; DodgePoint one grid
+// cell (pattern × pacing × sampler configuration) with its security
+// outcome, sampler effort and per-REF timeline evidence.
+type TRRDodge = core.TRRDodge
+type DodgePoint = core.DodgePoint
+
+// DefaultTRRDodgeParams returns the CLI-scale dodge-study grid.
+func DefaultTRRDodgeParams() TRRDodgeParams { return core.DefaultTRRDodgeParams() }
+
+// RunTRRDodge runs the ROADMAP's duty-cycle security study: a (sampler
+// rate × table size × pattern × duty-cycle × phase) grid of attacks
+// against the in-DRAM TRR sampler, reporting escaped flips, the
+// sampler's effort, and the per-REF timeline evidence of the dodge. Duty
+// cycle 0 is the full-rate baseline; the headline finding is a paced
+// attack escaping a sampler configuration that blocks the same attack at
+// full rate ("trr-dodge" in the experiment registry, cmd/rhdodge on the
+// command line).
+func RunTRRDodge(p TRRDodgeParams, seed uint64, parallelism int) (*TRRDodge, error) {
+	return core.RunTRRDodge(p, seed, parallelism)
+}
 
 // --- DRAM substrate ------------------------------------------------------
 
