@@ -238,6 +238,59 @@ func BenchmarkTable6Baseline(b *testing.B) {
 	}
 }
 
+// --- Engine stress shapes ---------------------------------------------------
+//
+// The full suite runs under both engines via scripts/bench.sh (RH_ENGINE
+// selects the driver); these two benchmarks are the sparse-trace shapes
+// the event engine exists for — long idle stretches the cycle engine
+// grinds through one cycle at a time.
+
+// BenchmarkPacedAttackSparse is a duty-cycle paced attacker running alone
+// (the trr-dodge cell shape): burst of serialized flush+loads, then most
+// of each tREFI idle in gap instructions.
+func BenchmarkPacedAttackSparse(b *testing.B) {
+	cfg := sim.Table6Config(0, 1)
+	cfg.Geo.Rows = 1024
+	cfg.T = rowhammer.DDR4Timing(cfg.Geo.Rows)
+	cfg.WarmupInsts = 0
+	cfg.MeasureInsts = 1 << 40
+	cfg.MaxCPUCycles = 400_000 * int64(cfg.CPUFreqMHz) / int64(cfg.MemFreqMHz)
+	spec := attack.Spec{Kind: attack.DoubleSided, Records: 2_048, Seed: 5, DutyCycle: 0.25}
+	tr, _, err := spec.Synthesize(cfg.Geo, attack.Target{Bank: 0, Row: 512})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mix := trace.Mix{Name: "paced", Traces: []*trace.Trace{tr}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(cfg, mix)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Ctrl.Reads == 0 {
+			b.Fatal("no attacker reads")
+		}
+	}
+}
+
+// BenchmarkSparseBenign is a single cache-resident core: almost every
+// access hits the LLC and the memory system idles between refreshes.
+func BenchmarkSparseBenign(b *testing.B) {
+	cfg := sim.Table6Config(2_000, 40_000)
+	p := trace.Profile{Name: "resident", MemFraction: 0.02, WorkingSetBytes: 1 << 20, Sequential: 0.9, WriteRatio: 0.2}
+	mix := trace.Mix{Name: "sparse", Traces: []*trace.Trace{p.Generate(2_000, 9)}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(cfg, mix)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TotalIPC() <= 0 {
+			b.Fatal("zero IPC")
+		}
+	}
+}
+
 // --- Ablations (DESIGN.md §6) ---------------------------------------------
 
 func runAblatedSim(b *testing.B, mutate func(*sim.Config)) float64 {

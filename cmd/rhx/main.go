@@ -23,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 )
@@ -138,6 +140,8 @@ func cmdRun(args []string) error {
 		out      = fs.String("out", "", "write the result JSON here (default: only the report is printed)")
 		format   = fs.Bool("format", false, "also print the formatted report (complete results only)")
 		parallel = fs.Int("parallel", 0, "concurrent tasks (0 = all cores; never affects results)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run here (pprof format)")
+		memProf  = fs.String("memprofile", "", "write a heap profile at end of run here (pprof format)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -146,9 +150,31 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 	res, err := core.RunWith(spec, core.Exec{Parallelism: *parallel})
 	if err != nil {
 		return err
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
 	}
 	wantFormat := *format || *out == ""
 	if *out != "" {

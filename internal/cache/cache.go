@@ -76,8 +76,9 @@ type Cache struct {
 	mshrs map[int64]*mshr
 
 	// hit-latency delay ring: ring[cycle % len] holds callbacks due.
-	ring  [][]func()
-	cycle int64
+	ring     [][]func()
+	cycle    int64
+	npending int // callbacks waiting in the ring
 
 	Stats    Stats
 	PerCore  []Stats
@@ -127,10 +128,65 @@ func New(cfg Config, backend Backend, cores int) (*Cache, error) {
 func (c *Cache) Tick() {
 	c.cycle++
 	slot := c.cycle % int64(len(c.ring))
-	for _, fn := range c.ring[slot] {
-		fn()
+	if fns := c.ring[slot]; len(fns) > 0 {
+		c.npending -= len(fns)
+		for _, fn := range fns {
+			fn()
+		}
+		c.ring[slot] = c.ring[slot][:0]
 	}
-	c.ring[slot] = c.ring[slot][:0]
+}
+
+// AdvanceIdle advances the CPU clock n cycles without firing anything.
+// Legal only when no ring callback is due in the window — the caller must
+// cap n below NextPendingCycle()-Cycle().
+func (c *Cache) AdvanceIdle(n int64) { c.cycle += n }
+
+// Cycle returns the cache's current CPU cycle.
+func (c *Cache) Cycle() int64 { return c.cycle }
+
+// NextPendingCycle returns the cycle at which the earliest scheduled hit
+// callback fires, or -1 when the ring is empty. Every scheduled callback
+// is due within the next len(ring)-1 cycles, so occupied slots map back
+// to absolute cycles unambiguously.
+func (c *Cache) NextPendingCycle() int64 {
+	if c.npending == 0 {
+		return -1
+	}
+	l := int64(len(c.ring))
+	best := int64(-1)
+	for s := int64(0); s < l; s++ {
+		if len(c.ring[s]) == 0 {
+			continue
+		}
+		d := (s - c.cycle) % l
+		if d <= 0 {
+			d += l
+		}
+		if best == -1 || c.cycle+d < best {
+			best = c.cycle + d
+		}
+	}
+	return best
+}
+
+// PendingWithin reports whether any ring callback fires within the next
+// k cycles — a cheap gate (k slot probes) in front of the full
+// NextPendingCycle scan for callers that only care about short windows.
+func (c *Cache) PendingWithin(k int64) bool {
+	if c.npending == 0 {
+		return false
+	}
+	l := int64(len(c.ring))
+	if k >= l {
+		return true // every pending callback is due within l-1 cycles
+	}
+	for d := int64(1); d <= k; d++ {
+		if len(c.ring[(c.cycle+d)%l]) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 func (c *Cache) schedule(delay int, fn func()) {
@@ -139,6 +195,7 @@ func (c *Cache) schedule(delay int, fn func()) {
 	}
 	slot := (c.cycle + int64(delay)) % int64(len(c.ring))
 	c.ring[slot] = append(c.ring[slot], fn)
+	c.npending++
 }
 
 func (c *Cache) lineAddr(addr int64) int64 { return addr / int64(c.cfg.LineBytes) }

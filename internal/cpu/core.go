@@ -33,14 +33,21 @@ type Core struct {
 	offset int64 // current pass's address offset
 
 	// Instruction window: a ring of done flags. seqHead is the sequence
-	// number of the oldest in-flight instruction.
+	// number of the oldest in-flight instruction. mask shortcuts the ring
+	// modulo when the window size is a power of two (-1 otherwise).
 	done    []bool
+	mask    int64
 	seqHead int64
 	inFlite int
 
 	gapLeft   int
 	recLoaded bool
 	rec       trace.Record
+
+	// outstanding counts in-flight loads whose data has not returned, so
+	// the event engine can tell "every window slot is a completed
+	// instruction" (bulk-replayable) from "a callback may land any time".
+	outstanding int
 
 	llc *cache.Cache
 
@@ -57,11 +64,16 @@ func New(id int, cfg Config, trc *trace.Trace, llc *cache.Cache) (*Core, error) 
 	if trc == nil || len(trc.Records) == 0 {
 		return nil, errors.New("cpu: empty trace")
 	}
+	mask := int64(-1)
+	if cfg.WindowSize&(cfg.WindowSize-1) == 0 {
+		mask = int64(cfg.WindowSize - 1)
+	}
 	return &Core{
 		ID:   id,
 		cfg:  cfg,
 		trc:  trc,
 		done: make([]bool, cfg.WindowSize),
+		mask: mask,
 		llc:  llc,
 	}, nil
 }
@@ -85,7 +97,12 @@ func (c *Core) ResetStats() {
 	c.stalled = 0
 }
 
-func (c *Core) slot(seq int64) int { return int(seq % int64(len(c.done))) }
+func (c *Core) slot(seq int64) int {
+	if c.mask >= 0 {
+		return int(seq & c.mask)
+	}
+	return int(seq % int64(len(c.done)))
+}
 
 // Tick advances the core one CPU cycle: retire up to IssueWidth done
 // instructions from the window head, then issue up to IssueWidth new ones.
@@ -150,9 +167,10 @@ func (c *Core) Tick() {
 			if c.rec.NoCache {
 				read = c.llc.ReadUncached // flush+load: always reaches DRAM
 			}
-			if !read(req, c.rec.Addr, func() { c.done[s] = true }) {
+			if !read(req, c.rec.Addr, func() { c.done[s] = true; c.outstanding-- }) {
 				break
 			}
+			c.outstanding++
 			c.inFlite++
 		}
 		c.recLoaded = false
@@ -160,5 +178,82 @@ func (c *Core) Tick() {
 	}
 	if issued == 0 && c.inFlite > 0 {
 		c.stalled++
+	}
+}
+
+// BulkWindow reports how many CPU cycles the core can advance without an
+// exact Tick, and which bulk method applies. A window of 0 means the core
+// must tick cycle-by-cycle. The two bulk-replayable states:
+//
+//   - blocked: the instruction window is full and its head instruction is
+//     incomplete. Tick is exactly {Cycles++, stalled++} until an external
+//     callback completes the head, and callbacks only fire from the LLC or
+//     controller clocks — which the event engine holds still during a
+//     jump. Unbounded (the engine's other horizons cap the jump).
+//
+//   - gap run: no loads are outstanding (every window slot is a completed
+//     instruction) and the current record still owes more than one issue
+//     group of non-memory instructions. Retire/issue evolve arithmetically
+//     and no memory access can be attempted for (gapLeft-1)/IssueWidth
+//     cycles.
+func (c *Core) BulkWindow() (n int64, gapRun bool) {
+	if c.inFlite == len(c.done) && !c.done[c.slot(c.seqHead)] {
+		return 1 << 62, false
+	}
+	if c.outstanding == 0 && c.recLoaded && c.gapLeft > c.cfg.IssueWidth {
+		return int64((c.gapLeft - 1) / c.cfg.IssueWidth), true
+	}
+	return 0, false
+}
+
+// AdvanceIdle advances a blocked core (window full, head incomplete) by n
+// cycles: pure stall time.
+func (c *Core) AdvanceIdle(n int64) {
+	c.Cycles += n
+	c.stalled += n
+}
+
+// AdvanceGap replays n cycles of a gap run (BulkWindow gapRun=true, n no
+// larger than its window) without touching the done ring per cycle. With
+// every in-flight slot complete, one cycle retires r=min(I,inFlite) and
+// issues a=min(I, W-inFlite+r) immediately-done gap instructions; the
+// state reaches a fixed point (r==a) after at most one transient cycle,
+// so the remainder is a multiplication. The done ring is rebuilt at the
+// end: exactly the surviving in-flight span is complete.
+func (c *Core) AdvanceGap(n int64) {
+	c.Cycles += n
+	iw := int64(c.cfg.IssueWidth)
+	w := int64(len(c.done))
+	f := int64(c.inFlite)
+	var retired, issued int64
+	for n > 0 {
+		r := iw
+		if f < r {
+			r = f
+		}
+		f -= r
+		a := iw
+		if w-f < a {
+			a = w - f
+		}
+		f += a
+		retired += r
+		issued += a
+		n--
+		if r == a { // fixed point: every further cycle is identical
+			retired += r * n
+			issued += a * n
+			n = 0
+		}
+	}
+	c.Retired += retired
+	c.seqHead += retired
+	c.gapLeft -= int(issued)
+	c.inFlite = int(f)
+	for i := range c.done {
+		c.done[i] = false
+	}
+	for s := int64(0); s < f; s++ {
+		c.done[c.slot(c.seqHead+s)] = true
 	}
 }

@@ -273,3 +273,14 @@ func (ch *Channel) Issue(cmd Command, rank, bank, row int, cycle int64) int64 {
 func (ch *Channel) RefreshPointer(rank, bank int) int {
 	return ch.banks[ch.bankIndex(rank, bank)].refPtr
 }
+
+// BankTimes exposes one bank's per-bank timing horizon: its open row (-1
+// when precharged) and the earliest cycles at which an ACT, PRE, RD, or WR
+// targeting it could legally issue, ignoring rank-scoped constraints
+// (tRRD/tFAW/tCCD/turnaround/bus). Rank constraints only delay commands
+// further, so these values are safe lower bounds for an event-driven
+// scheduler asking "when could this bank possibly accept a command?".
+func (ch *Channel) BankTimes(rank, bank int) (openRow int, nextACT, nextPRE, nextRD, nextWR int64) {
+	b := &ch.banks[ch.bankIndex(rank, bank)]
+	return b.openRow, b.nextACT, b.nextPRE, b.nextRD, b.nextWR
+}

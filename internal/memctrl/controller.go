@@ -177,6 +177,10 @@ type Controller struct {
 
 	cycle int64
 
+	// nwVal/nwValid memoize NextWork between invalidating mutations.
+	nwVal   int64
+	nwValid bool
+
 	// issuingMitigation marks Issue calls made for mitigation ops so the
 	// OnACT observer can attribute them.
 	issuingMitigation bool
@@ -313,6 +317,7 @@ func (c *Controller) enqueueMitigation(bank, row int) {
 // false when the queue is full or the throttling mechanism rejects the
 // request at admission (BlockHammer's RowBlocker-Req).
 func (c *Controller) EnqueueRead(requester int, addr int64, onDone func()) bool {
+	c.nwValid = false
 	// Read-after-write forwarding from the write backlog.
 	line := c.mapper.LineAddress(addr)
 	for _, w := range c.writeQ {
@@ -351,6 +356,7 @@ func (c *Controller) EnqueueRead(requester int, addr int64, onDone func()) bool 
 // write buffer hierarchy above the 64-entry drain queue). requester is
 // the source whose fill or flush produced the writeback.
 func (c *Controller) EnqueueWrite(requester int, addr int64) {
+	c.nwValid = false
 	a := c.mapper.Map(addr)
 	for _, w := range c.writeQ {
 		if w.addr == a {
@@ -367,8 +373,118 @@ func (c *Controller) PendingReads() int { return len(c.readQ) }
 // Cycle returns the controller's current memory-clock cycle.
 func (c *Controller) Cycle() int64 { return c.cycle }
 
+// NextWork returns a lower bound on the next memory cycle at which Tick
+// could do anything beyond advancing the clock: issue or progress a
+// command, fire a read return, or mutate statistics. Every Tick at a
+// cycle strictly below the bound is a no-op that AdvanceIdle replays
+// exactly, so the event engine may skip straight to it. The bound is
+// conservative (a real Tick at the returned cycle may still find nothing
+// ready — rank-scoped DRAM constraints are ignored); it is never late.
+//
+// The scan is memoized: controller state only changes through Tick,
+// AdvanceIdle, and the enqueue paths, each of which invalidates the
+// cached bound, so the event engine may probe every CPU cycle for free.
+func (c *Controller) NextWork() int64 {
+	if !c.nwValid {
+		c.nwVal = c.nextWorkScan()
+		c.nwValid = true
+	}
+	return c.nwVal
+}
+
+func (c *Controller) nextWorkScan() int64 {
+	// States whose Tick mutates per-cycle state even without issuing:
+	// a due refresh keeps closing banks, mitigation ops flip their
+	// activated flag outside the command slot, and a throttling mechanism
+	// is consulted (ThrottleStallCycles, sketch queries) whenever any
+	// request is queued.
+	if c.refPending || len(c.mitQ) > 0 ||
+		(c.throttle != nil && (len(c.readQ) > 0 || len(c.writeQ) > 0)) {
+		return c.cycle + 1
+	}
+	// floor is the tightest bound the scan can reach; stop as soon as it
+	// does (dense queues almost always have a ready request).
+	floor := c.cycle + 1
+	w := c.nextREF
+	for _, ev := range c.returns {
+		if ev.cycle < w {
+			if ev.cycle <= floor {
+				return floor
+			}
+			w = ev.cycle
+		}
+	}
+	for _, r := range c.readQ {
+		if b := c.reqLowerBound(r); b < w {
+			if b <= floor {
+				return floor
+			}
+			w = b
+		}
+	}
+	for _, r := range c.writeQ {
+		if b := c.reqLowerBound(r); b < w {
+			if b <= floor {
+				return floor
+			}
+			w = b
+		}
+	}
+	if c.cfg.ClosedRow {
+		// closeIdleRows may precharge an untargeted open row as soon as
+		// its bank allows.
+		for b := 0; b < c.ch.Geo.Banks(); b++ {
+			open, _, nextPRE, _, _ := c.ch.BankTimes(0, b)
+			if open != -1 && nextPRE < w {
+				w = nextPRE
+			}
+		}
+	}
+	if w <= c.cycle {
+		w = c.cycle + 1
+	}
+	return w
+}
+
+// reqLowerBound returns the earliest cycle at which any command could
+// legally progress the request, from per-bank timing alone.
+func (c *Controller) reqLowerBound(r *request) int64 {
+	open, nextACT, nextPRE, nextRD, nextWR := c.ch.BankTimes(0, r.addr.Bank)
+	switch {
+	case open == r.addr.Row:
+		if r.write {
+			return nextWR
+		}
+		return nextRD
+	case open == -1:
+		return nextACT
+	default:
+		return nextPRE
+	}
+}
+
+// AdvanceIdle advances the controller k memory cycles, replaying the only
+// time-triggered state the skipped no-op Ticks would have touched: the
+// BLISS clearing schedule. Legal only when every skipped cycle is below
+// NextWork().
+func (c *Controller) AdvanceIdle(k int64) {
+	c.nwValid = false
+	c.cycle += k
+	if c.cfg.BLISS {
+		// The per-cycle loop fires a clear at exactly cycle==blissClear
+		// (ticks hit every integer), so the replay steps period-by-period.
+		for c.blissClear <= c.cycle {
+			for k := range c.blissBlack {
+				delete(c.blissBlack, k)
+			}
+			c.blissClear += c.cfg.BLISSClearCycles
+		}
+	}
+}
+
 // Tick advances one memory-clock cycle and issues at most one command.
 func (c *Controller) Tick() {
+	c.nwValid = false
 	c.cycle++
 	c.fireReturns()
 

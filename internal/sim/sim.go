@@ -3,11 +3,22 @@
 // channel, and a RowHammer mitigation mechanism — and measures the two
 // metrics of Section 6.2.1: normalized weighted speedup and DRAM
 // bandwidth overhead.
+//
+// Two execution engines drive the same component graph. EngineCycle is
+// the original loop: one CPU cycle per iteration, the reference
+// semantics. EngineEvent (the default) advances time to the next
+// scheduled wakeup — an LLC fill, a controller command or REF deadline, a
+// core leaving a bulk-replayable state — while preserving the exact
+// CPU/mem clock-ratio phase, so every DRAM command lands on the identical
+// cycle and all results are byte-identical to the cycle engine (enforced
+// by the differential tests in this package).
 package sim
 
 import (
 	"errors"
 	"fmt"
+	"os"
+	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/cpu"
@@ -16,6 +27,43 @@ import (
 	"repro/internal/mitigation"
 	"repro/internal/trace"
 )
+
+// Engine selects the simulation driver.
+type Engine int
+
+const (
+	// EngineDefault resolves to EngineEvent unless the RH_ENGINE
+	// environment variable is "cycle" (the escape hatch back to the
+	// reference loop).
+	EngineDefault Engine = iota
+	// EngineEvent skips idle time: identical results, less wall-clock.
+	EngineEvent
+	// EngineCycle is the original cycle-by-cycle loop, kept as the
+	// differential-testing oracle.
+	EngineCycle
+)
+
+// String names the engine (resolved form).
+func (e Engine) String() string {
+	if e.resolve() == EngineCycle {
+		return "cycle"
+	}
+	return "event"
+}
+
+var envEngine = sync.OnceValue(func() Engine {
+	if os.Getenv("RH_ENGINE") == "cycle" {
+		return EngineCycle
+	}
+	return EngineEvent
+})
+
+func (e Engine) resolve() Engine {
+	if e == EngineDefault {
+		return envEngine()
+	}
+	return e
+}
 
 // Config describes one simulation run.
 type Config struct {
@@ -38,6 +86,10 @@ type Config struct {
 	// Attack evaluations use it as the primary termination: with a huge
 	// MeasureInsts the run lasts exactly this many CPU cycles.
 	MaxCPUCycles int64
+
+	// Engine selects the simulation driver; the zero value follows the
+	// RH_ENGINE environment variable and defaults to the event engine.
+	Engine Engine
 
 	Mechanism mitigation.Mechanism
 
@@ -117,8 +169,32 @@ func (r Result) TotalIPC() float64 {
 	return s
 }
 
-// Run simulates the mix on the configuration.
-func Run(cfg Config, mix trace.Mix) (*Result, error) {
+// system is the assembled component graph plus the loop state both
+// engines share. Either engine leaves cpuCycle/measStartCycle with the
+// reference-loop values, so result() is engine-agnostic.
+type system struct {
+	cfg   Config
+	ch    *dram.Channel
+	ctrl  *memctrl.Controller
+	llc   *cache.Cache
+	cores []*cpu.Core
+	mech  mitigation.Mechanism
+
+	maxCycles  int64
+	cpuF, memF int64
+
+	cpuCycle       int64
+	memAcc         int64
+	warmedUp       bool
+	measStartCycle int64
+
+	// laggard memoizes a core known to be short of the current
+	// retirement target, so the per-cycle allRetired probe is O(1) until
+	// that core crosses.
+	laggard int
+}
+
+func newSystem(cfg Config, mix trace.Mix) (*system, error) {
 	if len(mix.Traces) == 0 {
 		return nil, errors.New("sim: empty mix")
 	}
@@ -163,62 +239,103 @@ func Run(cfg Config, mix trace.Mix) (*Result, error) {
 		maxCycles = (cfg.WarmupInsts + cfg.MeasureInsts) * 800
 	}
 
-	target := cfg.WarmupInsts
-	warmedUp := cfg.WarmupInsts == 0
-	var cpuCycle, memAcc int64
-	var measStartCycle int64
+	return &system{
+		cfg:       cfg,
+		ch:        ch,
+		ctrl:      ctrl,
+		llc:       llc,
+		cores:     cores,
+		mech:      mech,
+		maxCycles: maxCycles,
+		cpuF:      int64(cfg.CPUFreqMHz),
+		memF:      int64(cfg.MemFreqMHz),
+		warmedUp:  cfg.WarmupInsts == 0,
+	}, nil
+}
 
-	allRetired := func(n int64) bool {
-		for _, c := range cores {
-			if c.Retired < n {
-				return false
-			}
-		}
-		return true
+// allRetired reports whether every core has retired at least n
+// instructions, probing the memoized laggard before rescanning.
+func (s *system) allRetired(n int64) bool {
+	if s.cores[s.laggard].Retired < n {
+		return false
 	}
+	for i, c := range s.cores {
+		if c.Retired < n {
+			s.laggard = i
+			return false
+		}
+	}
+	return true
+}
 
-	for cpuCycle = 0; cpuCycle < maxCycles; cpuCycle++ {
-		llc.Tick()
-		for _, c := range cores {
+// beginMeasure ends warmup: statistics reset, the measured window starts
+// at the current cycle.
+func (s *system) beginMeasure() {
+	s.warmedUp = true
+	for _, c := range s.cores {
+		c.ResetStats()
+	}
+	s.llc.ResetStats()
+	s.ctrl.Stats = memctrl.Stats{}
+	s.ch.Stats = dram.ChannelStats{}
+	s.measStartCycle = s.cpuCycle
+}
+
+// runCycle is the reference loop (EngineCycle): one CPU cycle per
+// iteration, the differential-testing oracle for the event engine.
+func (s *system) runCycle() {
+	target := s.cfg.WarmupInsts
+	for s.cpuCycle = 0; s.cpuCycle < s.maxCycles; s.cpuCycle++ {
+		s.llc.Tick()
+		for _, c := range s.cores {
 			c.Tick()
 		}
-		memAcc += int64(cfg.MemFreqMHz)
-		if memAcc >= int64(cfg.CPUFreqMHz) {
-			memAcc -= int64(cfg.CPUFreqMHz)
-			ctrl.Tick()
+		s.memAcc += s.memF
+		if s.memAcc >= s.cpuF {
+			s.memAcc -= s.cpuF
+			s.ctrl.Tick()
 		}
-		if !warmedUp && allRetired(target) {
-			warmedUp = true
-			for _, c := range cores {
-				c.ResetStats()
-			}
-			llc.ResetStats()
-			ctrl.Stats = memctrl.Stats{}
-			ch.Stats = dram.ChannelStats{}
-			measStartCycle = cpuCycle
+		if !s.warmedUp && s.allRetired(target) {
+			s.beginMeasure()
 		}
-		if warmedUp && allRetired(cfg.MeasureInsts) {
+		if s.warmedUp && s.allRetired(s.cfg.MeasureInsts) {
 			break
 		}
 	}
+}
 
+func (s *system) result() *Result {
 	res := &Result{
-		Mechanism: mech.Name(),
-		CPUCycles: cpuCycle - measStartCycle,
-		MemCycles: ctrl.Cycle(),
-		Ctrl:      ctrl.Stats,
-		Chan:      ch.Stats,
-		LLC:       llc.Stats,
+		Mechanism: s.mech.Name(),
+		CPUCycles: s.cpuCycle - s.measStartCycle,
+		MemCycles: s.ctrl.Cycle(),
+		Ctrl:      s.ctrl.Stats,
+		Chan:      s.ch.Stats,
+		LLC:       s.llc.Stats,
 	}
 	var totalInsts int64
-	for _, c := range cores {
+	for _, c := range s.cores {
 		res.IPC = append(res.IPC, c.IPC())
 		res.Retired = append(res.Retired, c.Retired)
 		totalInsts += c.Retired
 	}
-	res.MPKI = llc.Stats.MPKI(totalInsts)
-	res.BandwidthOverheadPct = bandwidthOverhead(cfg, mech, ctrl.Stats, res.CPUCycles)
-	return res, nil
+	res.MPKI = s.llc.Stats.MPKI(totalInsts)
+	res.BandwidthOverheadPct = bandwidthOverhead(s.cfg, s.mech, s.ctrl.Stats, res.CPUCycles)
+	return res
+}
+
+// Run simulates the mix on the configuration.
+func Run(cfg Config, mix trace.Mix) (*Result, error) {
+	s, err := newSystem(cfg, mix)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Engine.resolve() == EngineCycle {
+		s.runCycle()
+	} else {
+		s.runEvent()
+	}
+	return s.result(), nil
 }
 
 // bandwidthOverhead computes Figure 10a's metric on a demanded-time
@@ -262,10 +379,15 @@ func WeightedSpeedup(shared, alone []float64) (float64, error) {
 }
 
 // RunAlone measures each trace's single-core IPC on the baseline system
-// (no mitigation), the denominator of weighted speedup.
+// (no mitigation), the denominator of weighted speedup. The command
+// observer is detached along with the mechanism: alone runs exist only to
+// normalize IPC, and feeding their ACT/REF streams to a hammer or TRR
+// accountant would corrupt its timeline with traffic the shared run never
+// issued.
 func RunAlone(cfg Config, mix trace.Mix) ([]float64, error) {
 	alone := make([]float64, len(mix.Traces))
 	cfg.Mechanism = nil
+	cfg.Observer = nil
 	for i, tr := range mix.Traces {
 		res, err := Run(cfg, trace.Mix{Name: mix.Name + "-alone", Traces: []*trace.Trace{tr}})
 		if err != nil {

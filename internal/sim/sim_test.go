@@ -146,6 +146,39 @@ func TestRunAlone(t *testing.T) {
 	}
 }
 
+// countingObserver records how many DRAM commands it was shown.
+type countingObserver struct{ acts, refs int }
+
+func (o *countingObserver) OnACT(rank, bank, row int, cycle int64) { o.acts++ }
+func (o *countingObserver) OnRefresh(rank, bank, rowStart, rowCount int, cycle int64) {
+	o.refs++
+}
+
+// TestRunAloneDetachesObserver guards the alone-run isolation contract:
+// normalization runs must not leak their ACT/REF streams into the
+// caller's command observer, or a hammer/TRR accountant would count
+// traffic the shared run never issued.
+func TestRunAloneDetachesObserver(t *testing.T) {
+	cfg := quickConfig()
+	cfg.WarmupInsts = 500
+	cfg.MeasureInsts = 3_000
+	obs := &countingObserver{}
+	cfg.Observer = obs
+	if _, err := RunAlone(cfg, quickMix(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if obs.acts != 0 || obs.refs != 0 {
+		t.Fatalf("observer saw alone-run traffic: %d ACTs, %d refresh windows", obs.acts, obs.refs)
+	}
+	// The same config must still drive the observer in a shared run.
+	if _, err := Run(cfg, quickMix(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if obs.acts == 0 {
+		t.Fatal("observer attached to Run saw no ACTs")
+	}
+}
+
 func TestRequesterStatsReachController(t *testing.T) {
 	cfg := quickConfig()
 	mix := quickMix(3, 5)
