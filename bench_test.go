@@ -6,6 +6,7 @@
 package rowhammer_test
 
 import (
+	"context"
 	"testing"
 
 	rowhammer "repro"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/memctrl"
 	"repro/internal/mitigation"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -472,6 +474,63 @@ func BenchmarkControllerSaturated(b *testing.B) {
 			ctrl.EnqueueRead(0, mapper.LineAddress(addr), func() {})
 			addr += 4096 // row-conflict heavy
 			ctrl.Tick()
+		}
+	}
+}
+
+// benchStoreSpec is the tiny fig5 grid the CI service smoke submits
+// twice; the store benchmarks time the two sides of that exchange.
+func benchStoreSpec(b *testing.B) core.ExperimentSpec {
+	b.Helper()
+	spec, err := core.NewSpec("fig5", 7, core.CharParams{Scale: "tiny", Chips: 2, Iterations: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return spec
+}
+
+// BenchmarkStoreColdSubmit is a cache-miss submission: compute the grid
+// and persist it atomically (the service's first-POST path).
+func BenchmarkStoreColdSubmit(b *testing.B) {
+	spec := benchStoreSpec(b)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := store.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		r := store.Runner{Store: st}
+		_, _, hit, err := r.Run(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if hit {
+			b.Fatal("cold submit reported a cache hit")
+		}
+	}
+}
+
+// BenchmarkStoreWarmHit is the second submission of the same spec: the
+// result must come back from the store, verified, with no tasks run.
+func BenchmarkStoreWarmHit(b *testing.B) {
+	spec := benchStoreSpec(b)
+	st, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := store.Runner{Store: st}
+	if _, _, _, err := r.Run(context.Background(), spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, hit, err := r.Run(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !hit {
+			b.Fatal("warm submit missed the store")
 		}
 	}
 }

@@ -11,22 +11,40 @@
 //	rhx list                                  # registry + default params
 //	rhx run -name attack                      # defaults, print report
 //	rhx run -spec spec.json -out full.json    # spec file → result JSON
+//	rhx run -spec spec.json -store cache/     # cached: instant on re-run
 //	rhx run -spec spec.json -shard 0/2 -out part0.json
 //	rhx run -spec spec.json -shard 1/2 -out part1.json
 //	rhx merge -out merged.json part0.json part1.json
 //	rhx merge -format part*.json              # merge and print the report
 //	rhx fmt merged.json                       # render a stored result
 //	rhx spec -name pareto                     # emit a template spec
+//	rhx spec -name pareto -hash               # print its content address
+//	rhx serve -addr :8080 -store cache/       # HTTP experiment service
+//
+// The -store flag (shared by run and serve) points at a content-
+// addressed result store: results are keyed by the SHA-256 of their
+// canonical spec, so the CLI and the service share one cache — a grid
+// sharded by CLI runs resumes inside the service and vice versa.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -46,6 +64,8 @@ func main() {
 		err = cmdFmt(os.Args[2:])
 	case "spec":
 		err = cmdSpec(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -66,7 +86,8 @@ func usage() {
   rhx run   [-spec f|-name n] [flags]    run (a shard of) an experiment
   rhx merge [-out f] [-format] part...   merge shard results
   rhx fmt   result.json                  render a stored result
-  rhx spec  -name n [-seed s]            emit a template spec`)
+  rhx spec  -name n [-seed s] [-hash]    emit a template spec (or its hash)
+  rhx serve -addr a -store d [flags]     run the HTTP experiment service`)
 }
 
 // loadSpec resolves -spec/-name/-seed/-shard into a validated spec.
@@ -140,6 +161,9 @@ func cmdRun(args []string) error {
 		out      = fs.String("out", "", "write the result JSON here (default: only the report is printed)")
 		format   = fs.Bool("format", false, "also print the formatted report (complete results only)")
 		parallel = fs.Int("parallel", 0, "concurrent tasks (0 = all cores; never affects results)")
+		storeDir = fs.String("store", "", "content-addressed result store directory (enables caching + resume)")
+		shards   = fs.Int("shards", 0, "with -store: split a whole-grid run into N cacheable shard units (resume reuses finished ones)")
+		noCache  = fs.Bool("no-cache", false, "with -store: skip cache reads, recompute, and refresh the stored entry")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run here (pprof format)")
 		memProf  = fs.String("memprofile", "", "write a heap profile at end of run here (pprof format)")
 	)
@@ -161,9 +185,46 @@ func cmdRun(args []string) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	res, err := core.RunWith(spec, core.Exec{Parallelism: *parallel})
-	if err != nil {
-		return err
+	var res *core.Result
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		runner := &store.Runner{
+			Store:   st,
+			Exec:    core.Exec{Parallelism: *parallel},
+			Shards:  *shards,
+			NoCache: *noCache,
+			OnEvent: func(ev store.Event) {
+				switch ev.Status {
+				case store.StatusRunning:
+					fmt.Fprintf(os.Stderr, "rhx: %s shard %s: running\n", spec.Name, ev.Shard)
+				default:
+					fmt.Fprintf(os.Stderr, "rhx: %s shard %s: %s (%d/%d cells)\n",
+						spec.Name, ev.Shard, ev.Status, ev.Cells, ev.Tasks)
+				}
+			},
+		}
+		var hit bool
+		res, _, hit, err = runner.Run(signalContext(), spec)
+		if err != nil {
+			return err
+		}
+		hash, _ := spec.SpecHash()
+		if hit {
+			fmt.Fprintf(os.Stderr, "rhx: %s: served from store (%s)\n", spec.Name, hash)
+		} else {
+			fmt.Fprintf(os.Stderr, "rhx: %s: computed and stored (%s)\n", spec.Name, hash)
+		}
+	} else {
+		if *noCache {
+			return fmt.Errorf("-no-cache needs -store")
+		}
+		res, err = core.RunContext(signalContext(), spec, core.Exec{Parallelism: *parallel})
+		if err != nil {
+			return err
+		}
 	}
 	if *memProf != "" {
 		f, err := os.Create(*memProf)
@@ -284,18 +345,30 @@ func cmdFmt(args []string) error {
 func cmdSpec(args []string) error {
 	fs := flag.NewFlagSet("rhx spec", flag.ExitOnError)
 	var (
-		name = fs.String("name", "", "experiment name")
-		seed = fs.Uint64("seed", 1, "seed")
+		name     = fs.String("name", "", "experiment name")
+		seed     = fs.Uint64("seed", 1, "seed")
+		specPath = fs.String("spec", "", "hash an existing spec file instead of a template")
+		hash     = fs.Bool("hash", false, "print the spec's content address (store key) instead of the spec")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *name == "" {
-		return fmt.Errorf("spec needs -name (try `rhx list`)")
-	}
-	spec, err := core.NewSpec(*name, *seed, nil)
+	spec, err := loadSpec(*specPath, *name, func() uint64 {
+		if *specPath != "" {
+			return 0 // keep the file's seed
+		}
+		return *seed
+	}(), "")
 	if err != nil {
 		return err
+	}
+	if *hash {
+		h, err := spec.SpecHash()
+		if err != nil {
+			return err
+		}
+		fmt.Println(h)
+		return nil
 	}
 	data, err := spec.Encode()
 	if err != nil {
@@ -303,4 +376,80 @@ func cmdSpec(args []string) error {
 	}
 	_, err = os.Stdout.Write(data)
 	return err
+}
+
+// signalContext returns a context canceled by SIGINT/SIGTERM, so ^C
+// stops in-flight grid tasks promptly instead of running to completion.
+func signalContext() context.Context {
+	ctx, _ := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	return ctx
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("rhx serve", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		storeDir = fs.String("store", "rhx-store", "content-addressed result store directory")
+		workers  = fs.Int("workers", 2, "concurrent shard executions across all requests")
+		shards   = fs.Int("shards", 0, "cacheable shard units per submitted grid (0 = workers)")
+		parallel = fs.Int("parallel", 0, "concurrent tasks within one shard run (0 = all cores)")
+		logJSON  = fs.Bool("log-json", false, "emit structured logs as JSON (default: text)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(serve.Config{
+		Store:   st,
+		Workers: *workers,
+		Shards:  *shards,
+		Exec:    core.Exec{Parallelism: *parallel},
+		Logger:  logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The bound address goes to stdout so scripts starting the service
+	// on port 0 can discover the port.
+	fmt.Printf("rhx serve: listening on %s (store %s, %d workers)\n", ln.Addr(), *storeDir, *workers)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	ctx := signalContext()
+	select {
+	case <-ctx.Done():
+		logger.Info("shutdown", "reason", "signal")
+	case err := <-errCh:
+		return err
+	}
+	// Graceful stop: cancel and drain the jobs first (this unblocks any
+	// handler waiting on one), then close the listener and let in-flight
+	// handlers finish.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		logger.Warn("job shutdown", "error", err)
+	}
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Warn("http shutdown", "error", err)
+	}
+	return nil
 }

@@ -287,7 +287,7 @@ func init() {
 			o := p.options(rc.spec.Seed).normalized()
 			cfg := sim.Table6Config(o.WarmupInsts, o.MeasureInsts)
 			mixes := trace.Mixes(o.Mixes, o.Cores, o.TraceRecords, o.Seed)
-			eo := engine.Options{Workers: rc.exec.Parallelism, Seed: o.Seed}
+			eo := rc.engineOptions(o.Seed)
 
 			// Phase 1: per-mix baselines. Every shard recomputes them —
 			// they are inputs to each grid cell, and being derived purely

@@ -9,7 +9,6 @@ import (
 	"sort"
 
 	"repro/internal/chips"
-	"repro/internal/engine"
 	"repro/internal/faultmodel"
 )
 
@@ -64,11 +63,6 @@ func (o Options) normalized() Options {
 		o.Seed = 1
 	}
 	return o
-}
-
-// engine returns the executor options for this run's fan-outs.
-func (o Options) engine() engine.Options {
-	return engine.Options{Workers: o.Parallelism, Seed: o.Seed}
 }
 
 // ConfigKey identifies one cell of the paper's per-configuration tables.

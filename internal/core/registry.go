@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -103,8 +104,16 @@ type Exec struct {
 
 // runCtx is the resolved context one experiment run executes under.
 type runCtx struct {
+	ctx  context.Context
 	spec ExperimentSpec // normalized
 	exec Exec
+}
+
+// engineOptions is the engine fan-out configuration every grid in this
+// run uses: the exec parallelism bound, the given base seed, and the
+// run's cancellation context.
+func (rc *runCtx) engineOptions(seed uint64) engine.Options {
+	return engine.Options{Workers: rc.exec.Parallelism, Seed: seed, Context: rc.ctx}
 }
 
 // decode strictly decodes the spec's params into the given struct.
@@ -117,6 +126,13 @@ func Run(spec ExperimentSpec) (*Result, error) { return RunWith(spec, Exec{}) }
 
 // RunWith executes a spec's shard with explicit execution options.
 func RunWith(spec ExperimentSpec, ex Exec) (*Result, error) {
+	return RunContext(context.Background(), spec, ex)
+}
+
+// RunContext executes a spec's shard under a cancellation context: when
+// ctx is canceled (an abandoned HTTP request, SIGINT), in-flight grid
+// tasks finish but no new tasks start, and the run returns ctx's error.
+func RunContext(ctx context.Context, spec ExperimentSpec, ex Exec) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -124,7 +140,10 @@ func RunWith(spec ExperimentSpec, ex Exec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return exp.run(&runCtx{spec: spec.normalized(), exec: ex})
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return exp.run(&runCtx{ctx: ctx, spec: spec.normalized(), exec: ex})
 }
 
 // Result is one run's output: the spec it came from, the full grid's
@@ -158,7 +177,10 @@ func (r *Result) Encode() ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
-// DecodeResult parses an encoded Result.
+// DecodeResult parses an encoded Result. Raw JSON fields (Meta, cells)
+// are re-compacted: they would otherwise keep the two-space indentation
+// of the encoded document, and Merge compares them byte-for-byte
+// against freshly computed parts, which are always compact.
 func DecodeResult(data []byte) (*Result, error) {
 	var r Result
 	if err := json.Unmarshal(data, &r); err != nil {
@@ -171,7 +193,31 @@ func DecodeResult(data []byte) (*Result, error) {
 	if r.Cells == nil {
 		r.Cells = map[string]json.RawMessage{}
 	}
+	meta, err := compactRaw(r.Meta)
+	if err != nil {
+		return nil, fmt.Errorf("core: bad result meta: %w", err)
+	}
+	r.Meta = meta
+	for key, cell := range r.Cells {
+		c, err := compactRaw(cell)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad result cell %q: %w", key, err)
+		}
+		r.Cells[key] = c
+	}
 	return &r, nil
+}
+
+// compactRaw strips insignificant whitespace from a raw JSON value.
+func compactRaw(raw json.RawMessage) (json.RawMessage, error) {
+	if len(raw) == 0 {
+		return raw, nil
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return nil, err
+	}
+	return json.RawMessage(buf.Bytes()), nil
 }
 
 // Merge combines this result with other shards of the same spec into one
@@ -270,7 +316,7 @@ func gridResult[T, C any](rc *runCtx, meta any, keys []string, items []T,
 			mine = append(mine, i)
 		}
 	}
-	eo := engine.Options{Workers: rc.exec.Parallelism, Seed: rc.spec.Seed}
+	eo := rc.engineOptions(rc.spec.Seed)
 	cells, err := engine.Map(eo, mine, func(_ engine.TaskContext, gi int) (json.RawMessage, error) {
 		ctx := engine.TaskContext{Index: gi, Seed: engine.DeriveSeed(rc.spec.Seed, uint64(gi))}
 		c, err := fn(ctx, items[gi])

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"testing"
 
@@ -75,6 +76,48 @@ func checkShardInvariance(t *testing.T, spec ExperimentSpec, count int) {
 	if fullText != mergedText {
 		t.Errorf("formatted artifact differs:\n--- unsharded ---\n%s\n--- merged ---\n%s",
 			fullText, mergedText)
+	}
+}
+
+// TestMergeDecodedPartWithFreshPart pins the cache-resume contract: a
+// shard result round-tripped through Encode/DecodeResult (whose raw
+// JSON picked up the document's indentation) must still merge with a
+// freshly computed shard holding compact Meta and cell bytes.
+func TestMergeDecodedPartWithFreshPart(t *testing.T) {
+	spec, err := NewSpec("fig5", 3, CharParams{Scale: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := json.RawMessage(`{"mem_cycles":1000,"benign":"attacker only"}`)
+	part0 := &Result{
+		Spec:  func() ExperimentSpec { s := spec; s.Shard = Shard{Index: 0, Count: 2}; return s }(),
+		Tasks: 2,
+		Meta:  meta,
+		Cells: map[string]json.RawMessage{"a": json.RawMessage(`{"flips":[1,2]}`)},
+	}
+	enc, err := part0.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := DecodeResult(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cached.Meta, meta) {
+		t.Fatalf("decoded Meta not compacted: %q", cached.Meta)
+	}
+	fresh := &Result{
+		Spec:  func() ExperimentSpec { s := spec; s.Shard = Shard{Index: 1, Count: 2}; return s }(),
+		Tasks: 2,
+		Meta:  meta,
+		Cells: map[string]json.RawMessage{"b": json.RawMessage(`{"flips":[3]}`)},
+	}
+	merged, err := MergeResults(cached, fresh)
+	if err != nil {
+		t.Fatalf("merge cached+fresh: %v", err)
+	}
+	if !merged.Complete() {
+		t.Fatalf("merged covers %d/%d cells", len(merged.Cells), merged.Tasks)
 	}
 }
 

@@ -12,6 +12,8 @@ package core
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"strconv"
@@ -158,6 +160,28 @@ func (s ExperimentSpec) Encode() ([]byte, error) {
 		return nil, err
 	}
 	return append(b, '\n'), nil
+}
+
+// WithoutShard returns the normalized whole-grid identity of the spec:
+// the same experiment, seed and params with the shard erased. Two specs
+// that differ only in shard assignment share a WithoutShard identity —
+// the key the result store files whole-grid artifacts under.
+func (s ExperimentSpec) WithoutShard() ExperimentSpec { return s.sansShard() }
+
+// SpecHash returns the lowercase hex SHA-256 of the spec's canonical
+// encoding (Encode: normalized seed/shard, compacted params, two-space
+// indent, trailing newline). It is the spec's content address: every
+// byte of the canonical encoding — including the shard — contributes, so
+// a sharded spec hashes differently from its WithoutShard identity, and
+// any change to the canonical encoding changes every hash (the golden
+// tests pin this, because a silent change would invalidate every cache).
+func (s ExperimentSpec) SpecHash() (string, error) {
+	b, err := s.Encode()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // DecodeSpec parses a spec from JSON, rejecting unknown top-level fields,

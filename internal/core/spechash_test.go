@@ -1,0 +1,137 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// goldenSpecHashes pins the content address of one default spec (seed 1,
+// unsharded, default params) per registry entry. These hashes ARE the
+// cache keys of internal/store: any change to the canonical spec
+// encoding — field order, normalization, indentation, a renamed
+// experiment — silently invalidates every cached result on every
+// machine. If this test fails and the encoding change is intentional,
+// regenerate the table AND call out the cache invalidation in the PR.
+var goldenSpecHashes = map[string]string{
+	"table1":    "069af9dad485cae688ae51841961875514c222d35781c1373d48eacfa4ee7007",
+	"table2":    "c48d90dc9192a23fef9f65c50afcfdb8e4e94156eab7a00148753f3f0445e2c0",
+	"fig4":      "fea6f055ac71f92a74d030b893c15198e7a7f8d6d0a4ff5c30f5e705c79f962c",
+	"table3":    "35c2be94a3fb032ad55365ae62d78be2fae4ae7cb104e04ddfbedc6163d4a049",
+	"fig5":      "a0c18845d50bebdb7550ac31bd9d3c5c83019b5376efbd71b651e9e85c240bf2",
+	"fig6":      "d8974e112153c1ad52f3b3aa7c2d250657b702cb1eec169a15d480270cd44612",
+	"fig7":      "0246ec21cac7202a2d0b72a5e97cdc03575dc194e9de331670fbfd3ecdfcda18",
+	"fig8":      "6c398355bfa83346d27e97466aaacbd947006bc0c6aa31a55daef6c158cb2b0a",
+	"table4":    "7bf71cc0b967d68c7eb1294f2545721e5a40a88a5cb0164594dad33de38a3c75",
+	"fig9":      "63ec44cc43a6e5c77947d07dc6ed091691a8fdc172cb7898b9734c8e2aa5e101",
+	"table5":    "5d201557ddfc625535245a657e8c9eef91e8c547946e1292c6046daf79bb68c3",
+	"table7":    "9581015bceab2a0acf0088280761660a792eb82dd41f92d3b041e69e35814c29",
+	"table8":    "dda90d93fa344daab9733bf1791c6ee8738734bac8caae332589ac551e00df4c",
+	"fig10":     "7515522e1253e4b0f771fe897d27a0425ca2cdeba2dffe6329bda7bba128e5d4",
+	"attack":    "bd90d9add4ef6d2ff50416e520f32e4a5b7dfb1ddc7dab4f235f812b8b715e26",
+	"pareto":    "7cbbd4d11776f05f39b4bf8d562502475b731c8385313c3fb5396b33b87dbe6d",
+	"trr-dodge": "d2c766914eb9d6a011907f4e40435c95566790ffa26b49f2dba4aeb4bfee2647",
+}
+
+// TestSpecHashGolden walks the registry: every experiment must have a
+// pinned hash and every pinned hash must match, so both a changed
+// canonical encoding and an unpinned new experiment fail loudly.
+func TestSpecHashGolden(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Experiments() {
+		seen[e.Name] = true
+		want, ok := goldenSpecHashes[e.Name]
+		if !ok {
+			t.Errorf("experiment %q has no golden spec hash; add it to goldenSpecHashes", e.Name)
+			continue
+		}
+		spec, err := NewSpec(e.Name, 1, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		got, err := spec.SpecHash()
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if got != want {
+			t.Errorf("%s: SpecHash = %s, want %s — the canonical spec encoding changed, which invalidates every cache",
+				e.Name, got, want)
+		}
+	}
+	for name := range goldenSpecHashes {
+		if !seen[name] {
+			t.Errorf("golden hash for %q names no registered experiment", name)
+		}
+	}
+}
+
+// TestSpecHashProperties pins the hash's structural contract: stability
+// across re-encoding round-trips, sensitivity to every spec field, and
+// the sharded-vs-whole-grid distinction WithoutShard erases.
+func TestSpecHashProperties(t *testing.T) {
+	spec, err := NewSpec("fig5", 7, CharParams{Scale: "tiny", Chips: 2, Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := spec.SpecHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h1) != 64 || strings.ToLower(h1) != h1 {
+		t.Fatalf("hash %q is not lowercase hex sha256", h1)
+	}
+
+	// Round-trip through the canonical encoding: same hash.
+	enc, err := spec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeSpec(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := back.SpecHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h1 {
+		t.Errorf("round-trip changed hash: %s → %s", h1, h2)
+	}
+
+	// Every field contributes.
+	seedVar := spec
+	seedVar.Seed = 8
+	if h, _ := seedVar.SpecHash(); h == h1 {
+		t.Error("seed change did not change hash")
+	}
+	sharded := spec
+	sharded.Shard = Shard{Index: 1, Count: 3}
+	hs, err := sharded.SpecHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs == h1 {
+		t.Error("shard change did not change hash")
+	}
+
+	// WithoutShard restores the whole-grid identity.
+	hw, err := sharded.WithoutShard().SpecHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw != h1 {
+		t.Errorf("WithoutShard hash = %s, want the unsharded spec's %s", hw, h1)
+	}
+
+	// Param JSON formatting must not matter: params are compacted.
+	loose, err := DecodeSpec([]byte("{\n  \"name\": \"fig5\",\n  \"seed\": 7,\n  \"shard\": {\"index\":0,\"count\":1},\n  \"params\": {  \"scale\" : \"tiny\" ,\n \"chips\" : 2, \"iterations\": 2 }\n}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hl, err := loose.SpecHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hl != h1 {
+		t.Errorf("param whitespace changed hash: %s vs %s", hl, h1)
+	}
+}

@@ -19,6 +19,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -34,6 +35,11 @@ type Options struct {
 	Workers int
 	// Seed is the base seed per-task seeds are derived from.
 	Seed uint64
+	// Context, when non-nil, cancels the fan-out: workers check it
+	// before claiming each task, so after cancellation at most one
+	// in-flight task per worker runs to completion and Map returns the
+	// context's error. A nil Context never cancels.
+	Context context.Context
 }
 
 // TaskContext identifies one task of a fan-out and carries its derived
@@ -67,7 +73,10 @@ func (e *TaskError) Unwrap() error { return e.Err }
 
 // Map runs fn over every item on a bounded worker pool and returns the
 // results in item order. On failure it returns the lowest-index task's
-// error as a TaskError; remaining unstarted tasks are skipped.
+// error as a TaskError; remaining unstarted tasks are skipped. If
+// Options.Context is canceled mid-run, unclaimed tasks are skipped and
+// Map returns the context's error (a task failure takes precedence, so
+// the reported error stays deterministic when both happen).
 func Map[T, R any](o Options, items []T, fn func(TaskContext, T) (R, error)) ([]R, error) {
 	n := len(items)
 	results := make([]R, n)
@@ -83,8 +92,9 @@ func Map[T, R any](o Options, items []T, fn func(TaskContext, T) (R, error)) ([]
 		workers = n
 	}
 
+	ctx := o.Context
 	var next atomic.Int64
-	var failed atomic.Bool
+	var failed, canceled atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -94,6 +104,10 @@ func Map[T, R any](o Options, items []T, fn func(TaskContext, T) (R, error)) ([]
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
+				}
+				if ctx != nil && ctx.Err() != nil {
+					canceled.Store(true)
+					continue // drain remaining indices without running them
 				}
 				if failed.Load() {
 					continue // drain remaining indices without running them
@@ -117,6 +131,9 @@ func Map[T, R any](o Options, items []T, fn func(TaskContext, T) (R, error)) ([]
 				return nil, err
 			}
 		}
+	}
+	if canceled.Load() {
+		return nil, ctx.Err()
 	}
 	return results, nil
 }

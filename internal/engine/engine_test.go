@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 )
 
@@ -146,5 +148,77 @@ func TestDeriveSeedMixes(t *testing.T) {
 	}
 	if DeriveSeed(5, 9) != DeriveSeed(5, 9) {
 		t.Error("not deterministic")
+	}
+}
+
+// TestMapCancellationBounded is the serve-layer regression: canceling the
+// context mid-run stops the fan-out within a bounded number of tasks —
+// after the cancel is issued, each worker may finish at most the task it
+// already claimed plus one claimed before observing the cancellation.
+func TestMapCancellationBounded(t *testing.T) {
+	const (
+		n          = 10_000
+		workers    = 4
+		cancelAt   = 8
+		slackTasks = 2 * workers // one in-flight + one claim-race per worker
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	_, err := Map(Options{Workers: workers, Context: ctx}, make([]int, n),
+		func(TaskContext, int) (struct{}, error) {
+			if ran.Add(1) == cancelAt {
+				cancel()
+			}
+			return struct{}{}, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got > cancelAt+slackTasks {
+		t.Errorf("ran %d tasks after cancel at %d; want at most %d", got, cancelAt, cancelAt+slackTasks)
+	}
+}
+
+// TestMapCancelBeforeStart runs nothing at all when the context is
+// already canceled.
+func TestMapCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := Map(Options{Workers: 2, Context: ctx}, make([]int, 100),
+		func(TaskContext, int) (struct{}, error) {
+			ran.Add(1)
+			return struct{}{}, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Errorf("ran %d tasks with pre-canceled context, want 0", got)
+	}
+}
+
+// TestMapTaskErrorBeatsCancel pins the error-precedence contract: when a
+// task fails and the context is canceled, the deterministic task error
+// wins.
+func TestMapTaskErrorBeatsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := fmt.Errorf("boom")
+	_, err := Map(Options{Workers: 2, Context: ctx}, make([]int, 50),
+		func(c TaskContext, _ int) (struct{}, error) {
+			if c.Index == 0 {
+				cancel()
+				return struct{}{}, boom
+			}
+			return struct{}{}, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the task error", err)
+	}
+	var te *TaskError
+	if !errors.As(err, &te) || te.Index != 0 {
+		t.Fatalf("err = %v, want TaskError{Index: 0}", err)
 	}
 }

@@ -3,7 +3,7 @@
 # bench_test.go suite under both simulation engines with pinned
 # -benchtime/-count so numbers stay comparable across PRs.
 #
-# Usage: scripts/bench.sh [out.json]     (default BENCH_6.json)
+# Usage: scripts/bench.sh [out.json]     (default BENCH_7.json)
 #   BENCHTIME=3x COUNT=3 scripts/bench.sh    # override the pins
 #
 # Per benchmark the minimum ns/op over COUNT runs is kept — the standard
@@ -15,7 +15,7 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-3x}"
 COUNT="${COUNT:-3}"
-OUT="${1:-BENCH_6.json}"
+OUT="${1:-BENCH_7.json}"
 
 run() {
 	RH_ENGINE="$1" go test -run '^$' -bench . -benchtime="$BENCHTIME" -count=1 .
