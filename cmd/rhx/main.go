@@ -394,6 +394,7 @@ func cmdServe(args []string) error {
 		shards   = fs.Int("shards", 0, "cacheable shard units per submitted grid (0 = workers)")
 		parallel = fs.Int("parallel", 0, "concurrent tasks within one shard run (0 = all cores)")
 		logJSON  = fs.Bool("log-json", false, "emit structured logs as JSON (default: text)")
+		pprofOn  = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for live profiling")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -411,11 +412,12 @@ func cmdServe(args []string) error {
 		return err
 	}
 	srv, err := serve.New(serve.Config{
-		Store:   st,
-		Workers: *workers,
-		Shards:  *shards,
-		Exec:    core.Exec{Parallelism: *parallel},
-		Logger:  logger,
+		Store:       st,
+		Workers:     *workers,
+		Shards:      *shards,
+		Exec:        core.Exec{Parallelism: *parallel},
+		Logger:      logger,
+		EnablePprof: *pprofOn,
 	})
 	if err != nil {
 		return err

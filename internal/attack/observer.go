@@ -60,16 +60,19 @@ type Observer struct {
 	// (0 = not yet computed), so the hot path is one comparison.
 	next []float64
 
-	watch   map[int64]struct{} // aggressor rows under rate measurement
+	// watch flags aggressor rows under rate measurement, dense per
+	// bank*rows+row so the per-ACT check is one indexed load.
+	watch   []bool
 	aggACTs int64
 
 	totalACTs int64
 
 	// ECC bookkeeping: raw crossings seen so far, per (bank,row), so each
 	// new raw flip re-runs the row's word decode against the full set.
-	rawSeen  map[faultmodel.Flip]struct{}
-	rawByRow map[int64][]int
-	rawCount int
+	rawSeen   map[faultmodel.Flip]struct{}
+	rawByRow  map[int64][]int
+	rawCount  int
+	touchKeys []int64 // reusable scratch for recordRawCrossings
 
 	seen      map[faultmodel.Flip]struct{}
 	flips     []FlipEvent
@@ -93,10 +96,10 @@ func NewObserver(chip *faultmodel.Chip) *Observer {
 		ecc:          chip.Config().OnDieECC,
 		damage:       make([]float64, n),
 		next:         make([]float64, n),
-		watch:        make(map[int64]struct{}),
-		rawSeen:      make(map[faultmodel.Flip]struct{}),
-		rawByRow:     make(map[int64][]int),
-		seen:         make(map[faultmodel.Flip]struct{}),
+		watch:        make([]bool, chip.Banks()*chip.Rows()),
+		rawSeen:      make(map[faultmodel.Flip]struct{}, 16),
+		rawByRow:     make(map[int64][]int, 16),
+		seen:         make(map[faultmodel.Flip]struct{}, 16),
 		firstFlip:    -1,
 		lastREFCycle: -1,
 	}
@@ -106,7 +109,10 @@ func NewObserver(chip *faultmodel.Chip) *Observer {
 // aggressor ACT rate metric.
 func (o *Observer) WatchAggressors(refs []RowRef) {
 	for _, r := range refs {
-		o.watch[int64(r.Bank)<<32|int64(r.Row)] = struct{}{}
+		if r.Bank < 0 || r.Bank >= o.banks || r.Row < 0 || r.Row >= o.rows {
+			continue // OnACT never accounts out-of-range rows
+		}
+		o.watch[r.Bank*o.rows+r.Row] = true
 	}
 }
 
@@ -121,7 +127,7 @@ func (o *Observer) OnACT(rank, bank, row int, cycle int64) {
 	}
 	o.totalACTs++
 	o.cur.ACTs++
-	if _, ok := o.watch[int64(bank)<<32|int64(row)]; ok {
+	if o.watch[bank*o.rows+row] {
 		o.aggACTs++
 		o.cur.AggressorACTs++
 	}
@@ -163,7 +169,7 @@ func (o *Observer) crossings(bank, wl int, e float64) ([]faultmodel.Flip, float6
 // recorded as escaped, with the cycle of the raw crossing that caused
 // them.
 func (o *Observer) recordRawCrossings(crossed []faultmodel.Flip, cycle int64) {
-	touched := make(map[int64]faultmodel.Flip)
+	keys := o.touchKeys[:0]
 	for _, f := range crossed {
 		if _, dup := o.rawSeen[f]; dup {
 			continue
@@ -172,20 +178,22 @@ func (o *Observer) recordRawCrossings(crossed []faultmodel.Flip, cycle int64) {
 		o.rawCount++
 		rk := int64(f.Bank)<<32 | int64(f.Row)
 		o.rawByRow[rk] = append(o.rawByRow[rk], f.Bit)
-		touched[rk] = f
-	}
-	// Deterministic order over the touched rows (map iteration is not).
-	keys := make([]int64, 0, len(touched))
-	for rk := range touched {
 		keys = append(keys, rk)
 	}
+	// Deterministic ascending order over the touched rows, deduplicated
+	// after the sort; the reusable scratch keeps this path allocation-free.
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, rk := range keys {
-		f := touched[rk]
-		for _, obs := range o.chip.ObservedFromRaw(f.Bank, f.Row, o.rawByRow[rk]) {
+	for i, rk := range keys {
+		if i > 0 && rk == keys[i-1] {
+			continue
+		}
+		bank := int(rk >> 32)
+		row := int(rk & 0xffffffff)
+		for _, obs := range o.chip.ObservedFromRaw(bank, row, o.rawByRow[rk]) {
 			o.recordFlip(obs, cycle)
 		}
 	}
+	o.touchKeys = keys[:0]
 }
 
 // recordFlip appends a newly escaped data flip (idempotent per cell).

@@ -111,11 +111,18 @@ func New(cfg Config, backend Backend, cores int) (*Cache, error) {
 		ring:    make([][]func(), cfg.HitLatency+1),
 		PerCore: make([]Stats, cores),
 	}
+	// Carve all per-set slices out of two flat backing arrays: large
+	// caches (32K sets) would otherwise pay 2*nsets allocations here,
+	// which dominated the allocation profile of experiments that build
+	// one cache hierarchy per simulated core mix.
+	lineBuf := make([]line, nsets*cfg.Assoc)
+	lruBuf := make([]int8, nsets*cfg.Assoc)
 	c.sets = make([][]line, nsets)
 	c.lru = make([][]int8, nsets)
 	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Assoc)
-		order := make([]int8, cfg.Assoc)
+		lo, hi := i*cfg.Assoc, (i+1)*cfg.Assoc
+		c.sets[i] = lineBuf[lo:hi:hi]
+		order := lruBuf[lo:hi:hi]
 		for w := range order {
 			order[w] = int8(w)
 		}

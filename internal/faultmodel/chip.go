@@ -62,13 +62,19 @@ type Chip struct {
 
 	parityByByte map[byte][]byte // cached SEC128 parity bits per row byte
 
-	// Dynamic state.
+	// Dynamic state. The per-ACT accounting is flat slices indexed by
+	// wordline key (bank*wordlines+wl) with a touched-key journal, so the
+	// hot Activate path is array arithmetic and reset cost is O(touched)
+	// rather than O(chip). The slices are allocated lazily on the first
+	// Activate; while they are nil every key reads as zero.
 	pattern   Pattern
 	nonce     uint64
-	damage    map[int]float64 // accumulated hammers per bank*wordlines+wl
-	activated map[int]int64   // ACT counts per wordline key within a test
-	dirty     map[int]bool    // wordline keys touched since last commit
-	flipped   map[Flip]bool   // committed (persistent) flips
+	damage    []float64     // accumulated hammers per wordline key
+	activated []int64       // ACT counts per wordline key within a test
+	dirty     []bool        // wordline keys with uncommitted neighbour damage
+	journaled []bool        // wordline keys present in touched
+	touched   []int         // journal of keys with any nonzero accounting
+	flipped   map[Flip]bool // committed (persistent) flips
 }
 
 // NewChip constructs a chip from cfg. The vulnerable-cell population is
@@ -86,9 +92,6 @@ func NewChip(cfg Config) (*Chip, error) {
 		cells:        make(map[int][]cell),
 		parityByByte: make(map[byte][]byte),
 		pattern:      cfg.WorstPattern,
-		damage:       make(map[int]float64),
-		activated:    make(map[int]int64),
-		dirty:        make(map[int]bool),
 		flipped:      make(map[Flip]bool),
 	}
 	if cfg.PairedWordlines {
@@ -349,13 +352,44 @@ func (c *Chip) flipProbability(effHammers, threshold float64) float64 {
 
 // --- dynamic state ---------------------------------------------------------
 
+// ensureAccounting allocates the flat accounting slices on first use.
+func (c *Chip) ensureAccounting() {
+	if c.damage != nil {
+		return
+	}
+	n := c.cfg.Banks * c.wordlines
+	c.damage = make([]float64, n)
+	c.activated = make([]int64, n)
+	c.dirty = make([]bool, n)
+	c.journaled = make([]bool, n)
+}
+
+// journal records key in the touched set so resetAccounting can clear it.
+func (c *Chip) journal(key int) {
+	if !c.journaled[key] {
+		c.journaled[key] = true
+		c.touched = append(c.touched, key)
+	}
+}
+
+// resetAccounting zeroes the per-test hammer accounting (damage, ACT
+// counts, dirty marks) by replaying the touched-key journal, leaving the
+// committed-flip set alone.
+func (c *Chip) resetAccounting() {
+	for _, key := range c.touched {
+		c.damage[key] = 0
+		c.activated[key] = 0
+		c.dirty[key] = false
+		c.journaled[key] = false
+	}
+	c.touched = c.touched[:0]
+}
+
 // WriteAll stores pattern p into every cell and clears all accumulated
 // damage and committed flips (Algorithm 1 lines 2–3).
 func (c *Chip) WriteAll(p Pattern) {
 	c.pattern = p
-	c.damage = make(map[int]float64)
-	c.activated = make(map[int]int64)
-	c.dirty = make(map[int]bool)
+	c.resetAccounting()
 	c.flipped = make(map[Flip]bool)
 }
 
@@ -368,9 +402,7 @@ func (c *Chip) Pattern() Pattern { return c.pattern }
 // repeated iterations model run-to-run variation (Section 5.6).
 func (c *Chip) BeginTest(nonce uint64) {
 	c.nonce = nonce
-	c.damage = make(map[int]float64)
-	c.activated = make(map[int]int64)
-	c.dirty = make(map[int]bool)
+	c.resetAccounting()
 }
 
 func (c *Chip) wlKey(bank, wl int) int { return bank*c.wordlines + wl }
@@ -385,8 +417,10 @@ func (c *Chip) Activate(bank, row, times int) error {
 	if times <= 0 {
 		return nil
 	}
+	c.ensureAccounting()
 	wl := c.wordlineOf(row)
 	self := c.wlKey(bank, wl)
+	c.journal(self)
 	c.activated[self] += int64(times)
 	c.damage[self] = 0 // an activation restores the row's own charge
 	for _, d := range [...]int{1, 3, 5} {
@@ -399,6 +433,7 @@ func (c *Chip) Activate(bank, row, times int) error {
 				continue
 			}
 			key := c.wlKey(bank, nwl)
+			c.journal(key)
 			c.damage[key] += float64(times) * w
 			c.dirty[key] = true
 		}
@@ -410,16 +445,26 @@ func (c *Chip) Activate(bank, row, times int) error {
 // clearing its accumulated hammer damage. This is what refresh-based
 // mitigation mechanisms do to victims.
 func (c *Chip) RefreshRow(bank, row int) {
-	c.damage[c.wlKey(bank, c.wordlineOf(row))] = 0
+	// An untouched key already reads zero, so only journaled state needs
+	// the store; nil slices mean nothing was ever activated.
+	if c.damage != nil {
+		c.damage[c.wlKey(bank, c.wordlineOf(row))] = 0
+	}
 }
 
 // Damage returns the accumulated effective hammers on a row's wordline.
 func (c *Chip) Damage(bank, row int) float64 {
+	if c.damage == nil {
+		return 0
+	}
 	return c.damage[c.wlKey(bank, c.wordlineOf(row))]
 }
 
 // rawFlips samples this test's raw (pre-ECC) cell flips for a row.
 func (c *Chip) rawFlips(bank, row int) []int {
+	if c.damage == nil {
+		return nil
+	}
 	wl := c.wordlineOf(row)
 	key := c.wlKey(bank, wl)
 	if c.activated[key] > 0 {
@@ -521,7 +566,11 @@ func (c *Chip) decodeThroughECC(bank, row int, raw []int) []Flip {
 // accumulated damage has crossed its threshold (accumulate mode). Flips
 // persist until the next WriteAll.
 func (c *Chip) CommitFlips() {
-	for key := range c.dirty {
+	for _, key := range c.touched {
+		if !c.dirty[key] {
+			continue
+		}
+		c.dirty[key] = false
 		bank := key / c.wordlines
 		wl := key % c.wordlines
 		if c.activated[c.wlKey(bank, wl)] > 0 {
@@ -546,7 +595,6 @@ func (c *Chip) CommitFlips() {
 			}
 		}
 	}
-	c.dirty = make(map[int]bool)
 }
 
 // CommittedFlips lists the persistent flips in a row (accumulate mode).

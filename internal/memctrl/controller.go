@@ -9,10 +9,18 @@
 // requester service-streak blacklisting, Config.BLISS) and the
 // mitigation.Throttler hook (per-requester queue admission and ACT
 // attribution, BlockHammer's RowBlocker-Req).
+//
+// The queues are indexed per bank (see queue.go) with incrementally
+// maintained row-hit chains, so the per-cycle FR-FCFS scans cost
+// O(banks-with-work) instead of O(queue). The original linear scans are
+// kept verbatim in reference.go behind the refScan switch; the
+// randomized scheduler-equivalence test certifies both paths produce
+// bit-identical command streams and statistics.
 package memctrl
 
 import (
 	"errors"
+	"math/bits"
 
 	"repro/internal/dram"
 	"repro/internal/mitigation"
@@ -47,14 +55,6 @@ type Config struct {
 
 // Table6Config returns the paper's controller parameters.
 func Table6Config() Config { return Config{ReadQueue: 64, WriteQueue: 64} }
-
-type request struct {
-	addr   dram.Address
-	req    int // requester (source/thread) ID; RequesterNone when unknown
-	write  bool
-	onDone func()
-	queued int64
-}
 
 // mitOp is a mitigation-triggered victim refresh: an ACT+PRE pair that
 // restores a row's charge.
@@ -162,8 +162,9 @@ type Controller struct {
 	mech     mitigation.Mechanism
 	throttle mitigation.Throttler // non-nil when mech implements it
 
-	readQ       []*request
-	writeQ      []*request
+	readQ       reqQueue
+	writeQ      reqQueue
+	free        *request // recycled request nodes (chained via qnext)
 	mitQ        []mitOp
 	mitBankBusy []bool // scratch: banks owned by an earlier op this cycle
 
@@ -181,6 +182,13 @@ type Controller struct {
 	nwVal   int64
 	nwValid bool
 
+	// refScan routes the scheduler scans through the original linear
+	// queue walks (reference.go) instead of the per-bank indexes. The two
+	// paths are bit-identical by construction; the equivalence property
+	// test drives them side by side. Forced on when the geometry exceeds
+	// the indexed scan's 64-bank failure bitmask.
+	refScan bool
+
 	// issuingMitigation marks Issue calls made for mitigation ops so the
 	// OnACT observer can attribute them.
 	issuingMitigation bool
@@ -190,11 +198,21 @@ type Controller struct {
 	issuingReq int
 
 	// BLISS fairness state: the last-served requester, its service streak,
-	// and the current blacklist (cleared every BLISSClearCycles).
-	blissLast   int
-	blissStreak int
-	blissBlack  map[int]bool
-	blissClear  int64
+	// and the current blacklist (cleared every BLISSClearCycles). The
+	// blacklist is a dense generation-stamped slice — requester id is
+	// blacklisted iff blissBlackGen[id] == blissGen — so membership is one
+	// compare and clearing is one increment; ids past the dense cap spill
+	// into blissOver. blissCount mirrors the blacklist's size and
+	// demotedReads counts queued reads whose requester is blacklisted, so
+	// empty class passes are skipped without walking the queue.
+	blissLast     int
+	blissStreak   int
+	blissGen      uint64
+	blissBlackGen []uint64
+	blissOver     map[int]bool
+	blissCount    int
+	demotedReads  int
+	blissClear    int64
 
 	// lastThrottleStall deduplicates ThrottleStallCycles across the BLISS
 	// scheduler's two class passes within one cycle.
@@ -243,8 +261,14 @@ func New(cfg Config, ch *dram.Channel, mech mitigation.Mechanism) (*Controller, 
 		issuingReq:  mitigation.RequesterNone,
 		blissLast:   mitigation.RequesterNone,
 	}
+	c.readQ.init(ch.Geo.Banks())
+	c.writeQ.init(ch.Geo.Banks())
+	if ch.Geo.Banks() > 64 {
+		c.refScan = true
+	}
 	if cfg.BLISS {
-		c.blissBlack = make(map[int]bool)
+		c.blissGen = 1
+		c.blissBlackGen = make([]uint64, maxTrackedRequesters)
 		c.blissClear = cfg.BLISSClearCycles
 	}
 	c.throttle, _ = mech.(mitigation.Throttler)
@@ -313,43 +337,79 @@ func (c *Controller) enqueueMitigation(bank, row int) {
 	c.mitQ = append(c.mitQ, mitOp{bank: bank, row: row})
 }
 
+// newReq pops a recycled request node or allocates one; the steady-state
+// saturated Tick path recycles every node and allocates nothing.
+func (c *Controller) newReq() *request {
+	if r := c.free; r != nil {
+		c.free = r.qnext
+		r.qnext = nil
+		return r
+	}
+	return &request{}
+}
+
+// freeReq clears the node (dropping its callback reference) and chains it
+// on the free list.
+func (c *Controller) freeReq(r *request) {
+	*r = request{qnext: c.free}
+	c.free = r
+}
+
 // EnqueueRead accepts a demand read for the given requester; returns
 // false when the queue is full or the throttling mechanism rejects the
 // request at admission (BlockHammer's RowBlocker-Req).
 func (c *Controller) EnqueueRead(requester int, addr int64, onDone func()) bool {
 	c.nwValid = false
-	// Read-after-write forwarding from the write backlog.
-	line := c.mapper.LineAddress(addr)
-	for _, w := range c.writeQ {
-		if w.addr == c.mapper.Map(line) && w.write {
-			c.returns = append(c.returns, retEvent{cycle: c.cycle + 1, fn: onDone})
-			c.Stats.Reads++
-			if rs := c.Stats.reqStats(requester); rs != nil {
-				rs.Reads++
-			}
-			return true
+	// Read-after-write forwarding from the write backlog (which can only
+	// hold the line when it is non-empty, so the usual read-heavy phase
+	// skips the line mapping entirely).
+	if c.writeQ.n > 0 && c.writeBacklogHolds(c.mapper.Map(c.mapper.LineAddress(addr))) {
+		c.returns = append(c.returns, retEvent{cycle: c.cycle + 1, fn: onDone})
+		c.Stats.Reads++
+		if rs := c.Stats.reqStats(requester); rs != nil {
+			rs.Reads++
 		}
+		return true
 	}
-	if len(c.readQ) >= c.cfg.ReadQueue {
+	if c.readQ.n >= c.cfg.ReadQueue {
 		c.Stats.ReadQueueFull++
 		return false
 	}
 	a := c.mapper.Map(addr)
 	if c.throttle != nil &&
 		!c.throttle.AdmitRequest(requester, a.Bank, a.Row,
-			float64(len(c.readQ))/float64(c.cfg.ReadQueue), c.cycle) {
+			float64(c.readQ.n)/float64(c.cfg.ReadQueue), c.cycle) {
 		c.Stats.ThrottledReads++
 		if rs := c.Stats.reqStats(requester); rs != nil {
 			rs.ThrottledReads++
 		}
 		return false
 	}
-	c.readQ = append(c.readQ, &request{addr: a, req: requester, onDone: onDone, queued: c.cycle})
+	r := c.newReq()
+	r.addr, r.req, r.onDone, r.queued = a, requester, onDone, c.cycle
+	c.readQ.push(r, c.ch.OpenRow(0, a.Bank))
+	if c.cfg.BLISS && c.blissIsBlack(requester) {
+		c.demotedReads++
+	}
 	c.Stats.Reads++
 	if rs := c.Stats.reqStats(requester); rs != nil {
 		rs.Reads++
 	}
 	return true
+}
+
+// writeBacklogHolds reports whether the write backlog holds the line, in
+// which case a read is served by forwarding.
+func (c *Controller) writeBacklogHolds(la dram.Address) bool {
+	if c.refScan {
+		return c.refWriteBacklogHolds(la)
+	}
+	for w := c.writeQ.banks[la.Bank].head; w != nil; w = w.bnext {
+		if w.addr == la {
+			return true
+		}
+	}
+	return false
 }
 
 // EnqueueWrite accepts a write (always; the backlog stands in for the
@@ -358,17 +418,25 @@ func (c *Controller) EnqueueRead(requester int, addr int64, onDone func()) bool 
 func (c *Controller) EnqueueWrite(requester int, addr int64) {
 	c.nwValid = false
 	a := c.mapper.Map(addr)
-	for _, w := range c.writeQ {
-		if w.addr == a {
-			return // coalesce
+	if c.refScan {
+		if c.refWriteCoalesces(a) {
+			return
+		}
+	} else {
+		for w := c.writeQ.banks[a.Bank].head; w != nil; w = w.bnext {
+			if w.addr == a {
+				return // coalesce
+			}
 		}
 	}
-	c.writeQ = append(c.writeQ, &request{addr: a, req: requester, write: true, queued: c.cycle})
+	r := c.newReq()
+	r.addr, r.req, r.write, r.queued = a, requester, true, c.cycle
+	c.writeQ.push(r, c.ch.OpenRow(0, a.Bank))
 	c.Stats.Writes++
 }
 
 // PendingReads reports demand reads still queued (for drain-to-idle).
-func (c *Controller) PendingReads() int { return len(c.readQ) }
+func (c *Controller) PendingReads() int { return c.readQ.n }
 
 // Cycle returns the controller's current memory-clock cycle.
 func (c *Controller) Cycle() int64 { return c.cycle }
@@ -393,51 +461,49 @@ func (c *Controller) NextWork() int64 {
 }
 
 func (c *Controller) nextWorkScan() int64 {
+	if c.refScan {
+		return c.refNextWorkScan()
+	}
 	// States whose Tick mutates per-cycle state even without issuing:
 	// a due refresh keeps closing banks, mitigation ops flip their
 	// activated flag outside the command slot, and a throttling mechanism
 	// is consulted (ThrottleStallCycles, sketch queries) whenever any
 	// request is queued.
 	if c.refPending || len(c.mitQ) > 0 ||
-		(c.throttle != nil && (len(c.readQ) > 0 || len(c.writeQ) > 0)) {
+		(c.throttle != nil && (c.readQ.n > 0 || c.writeQ.n > 0)) {
 		return c.cycle + 1
 	}
-	// floor is the tightest bound the scan can reach; stop as soon as it
-	// does (dense queues almost always have a ready request).
-	floor := c.cycle + 1
 	w := c.nextREF
 	for _, ev := range c.returns {
 		if ev.cycle < w {
-			if ev.cycle <= floor {
-				return floor
-			}
 			w = ev.cycle
 		}
 	}
-	for _, r := range c.readQ {
-		if b := c.reqLowerBound(r); b < w {
-			if b <= floor {
-				return floor
-			}
-			w = b
+	// Per-bank lower bounds from the bucket census: a bank contributes
+	// nextACT when closed, nextRD/nextWR for queued row hits, and nextPRE
+	// when a queued request (or the closed-row policy) wants it closed —
+	// the same value set the per-request reference scan minimizes over.
+	for b := range c.readQ.banks {
+		rb := &c.readQ.banks[b]
+		wb := &c.writeQ.banks[b]
+		if rb.n == 0 && wb.n == 0 && !c.cfg.ClosedRow {
+			continue
 		}
-	}
-	for _, r := range c.writeQ {
-		if b := c.reqLowerBound(r); b < w {
-			if b <= floor {
-				return floor
+		open, nextACT, nextPRE, nextRD, nextWR := c.ch.BankTimes(0, b)
+		if open == -1 {
+			if (rb.n > 0 || wb.n > 0) && nextACT < w {
+				w = nextACT
 			}
-			w = b
+			continue
 		}
-	}
-	if c.cfg.ClosedRow {
-		// closeIdleRows may precharge an untargeted open row as soon as
-		// its bank allows.
-		for b := 0; b < c.ch.Geo.Banks(); b++ {
-			open, _, nextPRE, _, _ := c.ch.BankTimes(0, b)
-			if open != -1 && nextPRE < w {
-				w = nextPRE
-			}
+		if rb.hitN > 0 && nextRD < w {
+			w = nextRD
+		}
+		if wb.hitN > 0 && nextWR < w {
+			w = nextWR
+		}
+		if (rb.n > rb.hitN || wb.n > wb.hitN || c.cfg.ClosedRow) && nextPRE < w {
+			w = nextPRE
 		}
 	}
 	if w <= c.cycle {
@@ -474,9 +540,7 @@ func (c *Controller) AdvanceIdle(k int64) {
 		// The per-cycle loop fires a clear at exactly cycle==blissClear
 		// (ticks hit every integer), so the replay steps period-by-period.
 		for c.blissClear <= c.cycle {
-			for k := range c.blissBlack {
-				delete(c.blissBlack, k)
-			}
+			c.blissClearAll()
 			c.blissClear += c.cfg.BLISSClearCycles
 		}
 	}
@@ -491,9 +555,7 @@ func (c *Controller) Tick() {
 	// BLISS forgives all blacklists every clearing interval, so a phase
 	// change in a once-greedy requester is not punished forever.
 	if c.cfg.BLISS && c.cycle >= c.blissClear {
-		for k := range c.blissBlack {
-			delete(c.blissBlack, k)
-		}
+		c.blissClearAll()
 		c.blissClear = c.cycle + c.cfg.BLISSClearCycles
 	}
 
@@ -518,26 +580,26 @@ func (c *Controller) Tick() {
 	// Priority 3: demand scheduling, FR-FCFS with write draining.
 	c.updateDrainMode()
 	if c.draining {
-		if c.schedule(c.writeQ, true) {
+		if c.schedule(&c.writeQ, true) {
 			return
 		}
 		// While draining, still serve row-hit reads opportunistically —
 		// honoring the BLISS class order, which applies wherever reads
 		// compete for the command slot.
-		if c.cfg.BLISS && len(c.blissBlack) > 0 {
-			if !c.scheduleRowHits(c.readQ, false, -1, c.favored) {
-				c.scheduleRowHits(c.readQ, false, -1, c.demoted)
+		if c.cfg.BLISS && c.blissCount > 0 {
+			if !c.scheduleRowHits(&c.readQ, false, -1, classFilter{kind: classFavored}) {
+				c.scheduleRowHits(&c.readQ, false, -1, classFilter{kind: classDemoted})
 			}
 		} else {
-			c.scheduleRowHits(c.readQ, false, -1, nil)
+			c.scheduleRowHits(&c.readQ, false, -1, classFilter{})
 		}
 		return
 	}
-	if c.schedule(c.readQ, false) {
+	if c.schedule(&c.readQ, false) {
 		return
 	}
 	// Idle read queue: sneak writes out.
-	if len(c.writeQ) > 0 && c.schedule(c.writeQ, true) {
+	if c.writeQ.n > 0 && c.schedule(&c.writeQ, true) {
 		return
 	}
 	if c.cfg.ClosedRow {
@@ -545,31 +607,37 @@ func (c *Controller) Tick() {
 	}
 }
 
+// issueRowChange issues an ACT or PRE — the commands that change a bank's
+// open row — and rebuilds both queues' hit chains for the bank, keeping
+// the first-ready candidate sets exact.
+func (c *Controller) issueRowChange(cmd dram.Command, bank, row int) {
+	c.ch.Issue(cmd, 0, bank, row, c.cycle)
+	open := -1
+	if cmd == dram.CmdACT {
+		open = row
+	}
+	c.readQ.bankRowChanged(bank, open)
+	c.writeQ.bankRowChanged(bank, open)
+}
+
 // closeIdleRows implements the closed-row policy: precharge any bank
 // whose open row no queued request targets.
 func (c *Controller) closeIdleRows() {
-	for b := 0; b < c.ch.Geo.Banks(); b++ {
-		open := c.ch.OpenRow(0, b)
-		if open == -1 {
+	if c.refScan {
+		c.refCloseIdleRows()
+		return
+	}
+	for b := range c.readQ.banks {
+		if c.ch.OpenRow(0, b) == -1 {
 			continue
 		}
-		wanted := false
-		for _, r := range c.readQ {
-			if r.addr.Bank == b && r.addr.Row == open {
-				wanted = true
-				break
-			}
+		// hitN is exactly the count of queued requests targeting the open
+		// row, so "wanted" is two integer loads.
+		if c.readQ.banks[b].hitN > 0 || c.writeQ.banks[b].hitN > 0 {
+			continue
 		}
-		if !wanted {
-			for _, r := range c.writeQ {
-				if r.addr.Bank == b && r.addr.Row == open {
-					wanted = true
-					break
-				}
-			}
-		}
-		if !wanted && c.ch.CanIssue(dram.CmdPRE, 0, b, 0, c.cycle) {
-			c.ch.Issue(dram.CmdPRE, 0, b, 0, c.cycle)
+		if c.ch.CanIssue(dram.CmdPRE, 0, b, 0, c.cycle) {
+			c.issueRowChange(dram.CmdPRE, b, 0)
 			return
 		}
 	}
@@ -592,6 +660,8 @@ func (c *Controller) fireReturns() {
 // if it consumed the command slot.
 func (c *Controller) tryRefresh() bool {
 	if c.ch.CanIssue(dram.CmdREF, 0, 0, 0, c.cycle) {
+		// REF requires every bank precharged, so the hit chains are
+		// already empty and stay valid.
 		c.ch.Issue(dram.CmdREF, 0, 0, 0, c.cycle)
 		c.Stats.REFs++
 		c.Stats.RefreshBusyCycles += int64(c.ch.T.RFC) * int64(c.ch.Geo.Banks())
@@ -601,7 +671,7 @@ func (c *Controller) tryRefresh() bool {
 	}
 	for b := 0; b < c.ch.Geo.Banks(); b++ {
 		if c.ch.OpenRow(0, b) != -1 && c.ch.CanIssue(dram.CmdPRE, 0, b, 0, c.cycle) {
-			c.ch.Issue(dram.CmdPRE, 0, b, 0, c.cycle)
+			c.issueRowChange(dram.CmdPRE, b, 0)
 			return true
 		}
 	}
@@ -632,13 +702,13 @@ func (c *Controller) tryMitigation() bool {
 				op.activated = true
 			case open != -1:
 				if c.ch.CanIssue(dram.CmdPRE, 0, op.bank, 0, c.cycle) {
-					c.ch.Issue(dram.CmdPRE, 0, op.bank, 0, c.cycle)
+					c.issueRowChange(dram.CmdPRE, op.bank, 0)
 					return true
 				}
 			default:
 				if c.ch.CanIssue(dram.CmdACT, 0, op.bank, op.row, c.cycle) {
 					c.issuingMitigation = true
-					c.ch.Issue(dram.CmdACT, 0, op.bank, op.row, c.cycle)
+					c.issueRowChange(dram.CmdACT, op.bank, op.row)
 					c.issuingMitigation = false
 					op.activated = true
 					return true
@@ -647,7 +717,7 @@ func (c *Controller) tryMitigation() bool {
 			continue
 		}
 		if c.ch.CanIssue(dram.CmdPRE, 0, op.bank, 0, c.cycle) {
-			c.ch.Issue(dram.CmdPRE, 0, op.bank, 0, c.cycle)
+			c.issueRowChange(dram.CmdPRE, op.bank, 0)
 			c.mitQ = append(c.mitQ[:idx], c.mitQ[idx+1:]...)
 			return true
 		}
@@ -659,10 +729,10 @@ func (c *Controller) tryMitigation() bool {
 func (c *Controller) updateDrainMode() {
 	hi := c.cfg.WriteQueue
 	lo := c.cfg.WriteQueue / 4
-	if !c.draining && len(c.writeQ) >= hi {
+	if !c.draining && c.writeQ.n >= hi {
 		c.draining = true
 	}
-	if c.draining && len(c.writeQ) <= lo {
+	if c.draining && c.writeQ.n <= lo {
 		c.draining = false
 	}
 }
@@ -673,15 +743,88 @@ func (c *Controller) updateDrainMode() {
 // row-conflict request — real FR-FCFS schedulers cap the hit streak.
 const starveLimit = 512
 
+// classFilter selects the subset of a queue a scheduling pass may serve:
+// everything, the BLISS favored class, the demoted class, or the demoted
+// class minus one bank (a starving favored request's claim).
+type classFilter struct {
+	kind    classKind
+	notBank int
+}
+
+type classKind uint8
+
+const (
+	classAll classKind = iota
+	classFavored
+	classDemoted
+	classDemotedNotBank
+)
+
+func (c *Controller) classMatch(f classFilter, r *request) bool {
+	switch f.kind {
+	case classAll:
+		return true
+	case classFavored:
+		return !c.blissIsBlack(r.req)
+	case classDemoted:
+		return c.blissIsBlack(r.req)
+	default:
+		return c.blissIsBlack(r.req) && r.addr.Bank != f.notBank
+	}
+}
+
+// blissIsBlack reports whether a requester is currently blacklisted.
+func (c *Controller) blissIsBlack(id int) bool {
+	if id < 0 {
+		return false
+	}
+	if id < maxTrackedRequesters {
+		return c.blissBlackGen != nil && c.blissBlackGen[id] == c.blissGen
+	}
+	return c.blissOver[id]
+}
+
+// blissBlacklist adds a requester (not currently blacklisted) to the
+// blacklist and re-derives the demoted-read census: every queued read of
+// the requester switches class.
+func (c *Controller) blissBlacklist(id int) {
+	if id < maxTrackedRequesters {
+		c.blissBlackGen[id] = c.blissGen
+	} else {
+		if c.blissOver == nil {
+			c.blissOver = make(map[int]bool)
+		}
+		c.blissOver[id] = true
+	}
+	c.blissCount++
+	for r := c.readQ.head; r != nil; r = r.qnext {
+		if r.req == id {
+			c.demotedReads++
+		}
+	}
+}
+
+// blissClearAll forgives every blacklist: one generation bump.
+func (c *Controller) blissClearAll() {
+	c.blissGen++
+	c.blissCount = 0
+	c.demotedReads = 0
+	if len(c.blissOver) > 0 {
+		for k := range c.blissOver {
+			delete(c.blissOver, k)
+		}
+	}
+}
+
 // schedule applies FR-FCFS to the queue. Under BLISS, demand reads are
 // scheduled in two classes: requests from non-blacklisted requesters take
 // the command slot first, and a blacklisted requester's requests are
 // considered only when no favored request can use the cycle — BLISS
 // demotes, it never blocks, so liveness is untouched.
 // Returns true if a command issued.
-func (c *Controller) schedule(q []*request, write bool) bool {
-	if c.cfg.BLISS && !write && len(c.blissBlack) > 0 {
-		if c.scheduleClass(q, write, c.favored) {
+func (c *Controller) schedule(q *reqQueue, write bool) bool {
+	if c.cfg.BLISS && !write && c.blissCount > 0 {
+		if c.scheduleClass(q, write, classFilter{kind: classFavored}) {
 			return true
 		}
 		// A *starving* favored request claims its bank from the demoted
@@ -691,24 +834,21 @@ func (c *Controller) schedule(q []*request, write bool) bool {
 		// BLISS demoted. Short of starvation, demoted requests may fill
 		// the idle slot anywhere — BLISS reorders, it does not idle banks.
 		if ex := c.starvingFavoredBank(q); ex >= 0 {
-			return c.scheduleClass(q, write, func(r *request) bool {
-				return c.demoted(r) && r.addr.Bank != ex
-			})
+			return c.scheduleClass(q, write, classFilter{kind: classDemotedNotBank, notBank: ex})
 		}
-		return c.scheduleClass(q, write, c.demoted)
+		return c.scheduleClass(q, write, classFilter{kind: classDemoted})
 	}
-	return c.scheduleClass(q, write, nil)
+	return c.scheduleClass(q, write, classFilter{})
 }
 
-// favored and demoted are the two BLISS scheduling classes.
-func (c *Controller) favored(r *request) bool { return !c.blissBlack[r.req] }
-func (c *Controller) demoted(r *request) bool { return c.blissBlack[r.req] }
-
 // starvingFavoredBank returns the bank of the oldest schedulable favored
-// request if that request has starved past starveLimit, else -1.
-func (c *Controller) starvingFavoredBank(q []*request) int {
-	for _, r := range q {
-		if !c.favored(r) {
+// request if that request has starved past starveLimit, else -1. The
+// walk is shared by both scan modes: it consults the throttler per
+// skipped request, and that query sequence is part of the pinned
+// behavior.
+func (c *Controller) starvingFavoredBank(q *reqQueue) int {
+	for r := q.head; r != nil; r = r.qnext {
+		if c.blissIsBlack(r.req) {
 			continue
 		}
 		if c.throttle != nil && c.throttledIdle(r) {
@@ -722,31 +862,48 @@ func (c *Controller) starvingFavoredBank(q []*request) int {
 	return -1
 }
 
-// scheduleClass applies FR-FCFS to the subset of q matching eligible
-// (nil = every request): ready row-hit column commands first, otherwise
-// progress the oldest request (ACT or PRE). Once the oldest request is
-// starving, it preempts row hits to its bank. A throttle-blacklisted
-// request is waiting on the mechanism, not on the scheduler, so it
-// neither counts as starving nor preempts anyone. Returns true if a
-// command issued.
-func (c *Controller) scheduleClass(q []*request, write bool, eligible func(*request) bool) bool {
-	if len(q) == 0 {
+// scheduleClass applies FR-FCFS to the subset of q matching the class
+// filter: ready row-hit column commands first, otherwise progress the
+// oldest request (ACT or PRE). Once the oldest request is starving, it
+// preempts row hits to its bank. A throttle-blacklisted request is
+// waiting on the mechanism, not on the scheduler, so it neither counts
+// as starving nor preempts anyone. Returns true if a command issued.
+func (c *Controller) scheduleClass(q *reqQueue, write bool, f classFilter) bool {
+	if q.n == 0 {
 		return false
 	}
+	// A class with no queued members issues nothing and consults the
+	// throttler for nothing in the reference walk either (class
+	// eligibility is checked before the throttle), so the pass can be
+	// skipped outright on the maintained census.
+	if !c.refScan && !write {
+		switch f.kind {
+		case classFavored:
+			if q.n == c.demotedReads {
+				return false
+			}
+		case classDemoted, classDemotedNotBank:
+			if c.demotedReads == 0 {
+				return false
+			}
+		}
+	}
 	// One throttle scan per pass: find the oldest eligible unthrottled
-	// request and hand its index to progressFrom, so the sketch queries
-	// behind ActAllowed are not repeated over the same prefix.
-	oldest := -1
+	// request and hand it to progressReq, so the sketch queries behind
+	// ActAllowed are not repeated over the same prefix. The walk runs in
+	// arrival order in both scan modes — the throttler is stateful, so
+	// the query sequence itself is pinned behavior.
+	var oldest *request
 	throttleSkip := false
-	for i, r := range q {
-		if eligible != nil && !eligible(r) {
+	for r := q.head; r != nil; r = r.qnext {
+		if !c.classMatch(f, r) {
 			continue
 		}
 		if c.throttle != nil && c.throttledIdle(r) {
 			throttleSkip = true
 			continue
 		}
-		oldest = i
+		oldest = r
 		break
 	}
 	// Count at most one throttle-stall per memory cycle: under BLISS this
@@ -756,23 +913,23 @@ func (c *Controller) scheduleClass(q []*request, write bool, eligible func(*requ
 		c.Stats.ThrottleStallCycles++
 		c.lastThrottleStall = c.cycle
 	}
-	if oldest < 0 {
+	if oldest == nil {
 		// Every eligible request is throttle-blocked with its row closed:
 		// no row hit or progress is possible for this class this cycle.
 		return false
 	}
-	starving := c.cycle-q[oldest].queued > starveLimit
-	exclude := -1
+	starving := c.cycle-oldest.queued > starveLimit
+	excludeBank := -1
 	if starving {
-		exclude = q[oldest].addr.Bank
-		if c.progressFrom(q, write, oldest) {
+		excludeBank = oldest.addr.Bank
+		if c.progressReq(q, oldest, write) {
 			return true
 		}
 	}
-	if !c.cfg.FCFSOnly && c.scheduleRowHits(q, write, exclude, eligible) {
+	if !c.cfg.FCFSOnly && c.scheduleRowHits(q, write, excludeBank, f) {
 		return true
 	}
-	if !starving && c.progressFrom(q, write, oldest) {
+	if !starving && c.progressReq(q, oldest, write) {
 		return true
 	}
 	return false
@@ -788,101 +945,126 @@ func (c *Controller) throttledIdle(req *request) bool {
 	return !c.throttle.ActAllowed(req.req, req.addr.Bank, req.addr.Row, c.cycle)
 }
 
-// progressFrom moves q[start] — the oldest schedulable request, as
-// determined by schedule's throttle scan — forward: serve it when its row
-// is open, otherwise open (or close) the row it needs.
-func (c *Controller) progressFrom(q []*request, write bool, start int) bool {
-	req := q[start]
+// progressReq moves the oldest schedulable request — as determined by
+// scheduleClass's throttle scan — forward: serve it when its row is open,
+// otherwise open (or close) the row it needs.
+func (c *Controller) progressReq(q *reqQueue, req *request, write bool) bool {
 	bank := req.addr.Bank
 	open := c.ch.OpenRow(0, bank)
 	if open == req.addr.Row {
-		return c.serveAt(q, start, write)
+		return c.serveReq(q, req, write)
 	}
 	if open == -1 {
 		if c.ch.CanIssue(dram.CmdACT, 0, bank, req.addr.Row, c.cycle) {
 			c.issuingReq = req.req
-			c.ch.Issue(dram.CmdACT, 0, bank, req.addr.Row, c.cycle)
+			c.issueRowChange(dram.CmdACT, bank, req.addr.Row)
 			c.issuingReq = mitigation.RequesterNone
 			return true
 		}
 		return false
 	}
 	if c.ch.CanIssue(dram.CmdPRE, 0, bank, 0, c.cycle) {
-		c.ch.Issue(dram.CmdPRE, 0, bank, 0, c.cycle)
+		c.issueRowChange(dram.CmdPRE, bank, 0)
 		return true
 	}
 	return false
 }
 
-// scheduleRowHits issues the first ready row-hit column access in q
-// matching eligible (nil = all), skipping excludeBank (a starving
+// scheduleRowHits issues the first (arrival order) ready row-hit column
+// access in q matching the class filter, skipping excludeBank (a starving
 // request's bank).
-func (c *Controller) scheduleRowHits(q []*request, write bool, excludeBank int, eligible func(*request) bool) bool {
-	for i, req := range q {
-		if eligible != nil && !eligible(req) {
-			continue
+//
+// The indexed scan walks hit chains instead of the queue: each bank's
+// earliest matching candidate stands for the whole bank, because CanIssue
+// for a column command is uniform across requests targeting the bank's
+// open row — when one candidate fails on timing, every hit in its bank
+// fails this cycle, so the bank is dropped wholesale and the next-oldest
+// bank candidate is tried, exactly reproducing the reference walk's
+// outcome.
+func (c *Controller) scheduleRowHits(q *reqQueue, write bool, excludeBank int, f classFilter) bool {
+	if c.refScan {
+		return c.refScheduleRowHits(q, write, excludeBank, f)
+	}
+	avail := q.hitMask // banks with hit candidates, minus exclusions
+	if excludeBank >= 0 {
+		avail &^= 1 << uint(excludeBank)
+	}
+	if f.kind == classDemotedNotBank {
+		avail &^= 1 << uint(f.notBank)
+	}
+	for avail != 0 {
+		var best *request
+		for m := avail; m != 0; m &= m - 1 {
+			r := q.banks[bits.TrailingZeros64(m)].hitHead
+			if f.kind != classAll {
+				for r != nil && !c.classMatch(f, r) {
+					r = r.hnext
+				}
+			}
+			if r != nil && (best == nil || r.seq < best.seq) {
+				best = r
+			}
 		}
-		if req.addr.Bank == excludeBank {
-			continue
+		if best == nil {
+			return false
 		}
-		if c.ch.OpenRow(0, req.addr.Bank) != req.addr.Row {
-			continue
-		}
-		if c.serveAt(q, i, write) {
+		if c.serveReq(q, best, write) {
 			return true
 		}
+		avail &^= 1 << uint(best.addr.Bank) // whole bank fails this cycle
 	}
 	return false
 }
 
-// serveAt issues the column command for q[i] (whose row must be open)
-// and removes it from the queue. Returns false when timing blocks it.
-func (c *Controller) serveAt(q []*request, i int, write bool) bool {
-	req := q[i]
+// serveReq issues the column command for r (whose row must be open) and
+// removes it from the queue. Returns false when timing blocks it.
+func (c *Controller) serveReq(q *reqQueue, r *request, write bool) bool {
 	cmd := dram.CmdRD
-	if req.write {
+	if r.write {
 		cmd = dram.CmdWR
 	}
-	if !c.ch.CanIssue(cmd, 0, req.addr.Bank, req.addr.Row, c.cycle) {
+	if !c.ch.CanIssue(cmd, 0, r.addr.Bank, r.addr.Row, c.cycle) {
 		return false
 	}
-	ready := c.ch.Issue(cmd, 0, req.addr.Bank, req.addr.Row, c.cycle)
-	if !req.write && req.onDone != nil {
-		c.returns = append(c.returns, retEvent{cycle: ready, fn: req.onDone})
+	ready := c.ch.Issue(cmd, 0, r.addr.Bank, r.addr.Row, c.cycle)
+	if !r.write && r.onDone != nil {
+		c.returns = append(c.returns, retEvent{cycle: ready, fn: r.onDone})
 	}
 	// Data-bus occupancy: every served column command burns BL clocks of
 	// the shared bus for its requester, row hit or not.
-	if rs := c.Stats.reqStats(req.req); rs != nil {
+	if rs := c.Stats.reqStats(r.req); rs != nil {
 		rs.BusBusyCycles += int64(c.ch.T.BL)
 	}
 	if !write {
-		if rs := c.Stats.reqStats(req.req); rs != nil {
+		if rs := c.Stats.reqStats(r.req); rs != nil {
 			rs.ServedReads++
 		}
 		// BLISS streak accounting: a requester monopolizing consecutive
 		// read service gets blacklisted until the next clearing interval.
 		if c.cfg.BLISS {
-			if req.req == c.blissLast {
+			if r.req == c.blissLast {
 				c.blissStreak++
 			} else {
-				c.blissLast, c.blissStreak = req.req, 1
+				c.blissLast, c.blissStreak = r.req, 1
 			}
 			if c.blissStreak >= c.cfg.BLISSStreak {
-				if req.req >= 0 && !c.blissBlack[req.req] {
-					c.blissBlack[req.req] = true
+				if r.req >= 0 && !c.blissIsBlack(r.req) {
+					c.blissBlacklist(r.req)
 					c.Stats.BLISSBlacklists++
-					if rs := c.Stats.reqStats(req.req); rs != nil {
+					if rs := c.Stats.reqStats(r.req); rs != nil {
 						rs.Blacklistings++
 					}
 				}
 				c.blissStreak = 0
 			}
+			// The census counted r (still queued) if its requester is
+			// blacklisted — including a blacklisting this very service.
+			if c.blissIsBlack(r.req) {
+				c.demotedReads--
+			}
 		}
 	}
-	if write {
-		c.writeQ = append(q[:i], q[i+1:]...)
-	} else {
-		c.readQ = append(q[:i], q[i+1:]...)
-	}
+	q.remove(r)
+	c.freeReq(r)
 	return true
 }

@@ -67,8 +67,8 @@ func TestWritesDrainEventually(t *testing.T) {
 		t.Fatalf("writes accepted = %d", ctrl.Stats.Writes)
 	}
 	run(ctrl, 20_000)
-	if len(ctrl.writeQ) != 0 {
-		t.Errorf("%d writes still queued", len(ctrl.writeQ))
+	if ctrl.writeQ.n != 0 {
+		t.Errorf("%d writes still queued", ctrl.writeQ.n)
 	}
 	if ctrl.Stats.DemandACTs == 0 {
 		t.Error("writes issued no activates")
@@ -79,8 +79,8 @@ func TestWriteCoalescing(t *testing.T) {
 	ctrl, _ := testController(t, nil)
 	ctrl.EnqueueWrite(0, 0x4000)
 	ctrl.EnqueueWrite(0, 0x4000)
-	if len(ctrl.writeQ) != 1 {
-		t.Errorf("duplicate write not coalesced: %d", len(ctrl.writeQ))
+	if ctrl.writeQ.n != 1 {
+		t.Errorf("duplicate write not coalesced: %d", ctrl.writeQ.n)
 	}
 }
 

@@ -1,0 +1,223 @@
+package memctrl
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/mitigation"
+)
+
+// This file certifies the indexed scheduler (queue.go buckets, hit
+// chains, dense BLISS state) against the kept reference scans
+// (reference.go): two controllers with identical configuration and
+// identical mechanism state are driven in lockstep through randomized
+// request streams, and every externally visible behaviour must match
+// bit-for-bit — enqueue admission, the full ACT/REF command stream,
+// read completion order, NextWork bounds, and final Stats.
+//
+// The mechanisms are deliberately stateful (PRNG-driven throttling,
+// victim refreshes): any divergence in the *sequence* of mechanism
+// calls between the two scan implementations desynchronizes the PRNGs
+// and snowballs into a visible command-stream mismatch, so call parity
+// is certified too, not just outcome parity.
+
+// eqMech is a stateful mechanism exercising every controller hook:
+// random victim refreshes (mitigation queue pressure), random ACT
+// throttling, and random admission denial.
+type eqMech struct {
+	mitigation.None
+	rng *rand.Rand
+}
+
+func (m *eqMech) OnActivate(bank, row int, cycle int64, fromMitigation bool) []int {
+	if !fromMitigation && m.rng.Intn(8) == 0 {
+		return []int{row - 1, row + 1}
+	}
+	return nil
+}
+
+func (m *eqMech) ActAllowed(requester, bank, row int, cycle int64) bool {
+	return m.rng.Intn(16) != 0
+}
+
+func (m *eqMech) AdmitRequest(requester, bank, row int, queueLoad float64, cycle int64) bool {
+	return m.rng.Intn(12) != 0
+}
+
+func (m *eqMech) OnRequesterACT(requester, bank, row int, cycle int64) {}
+
+// eqLog captures one controller's externally visible activity.
+type eqLog struct {
+	cmds []string // ACT/REF stream with coordinates and cycles
+	done []int    // completed read indices, in completion order
+}
+
+type eqController struct {
+	ctrl *Controller
+	log  eqLog
+}
+
+func newEqController(t *testing.T, cfg Config, mechSeed int64, mech string, ref bool) *eqController {
+	t.Helper()
+	geo := dram.Table6Geometry()
+	ch, err := dram.NewChannel(geo, dram.DDR4_2400(geo.Rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m mitigation.Mechanism
+	switch mech {
+	case "none":
+		m = mitigation.NewNone()
+	case "hammer":
+		m = &hammerMech{}
+	case "throttle":
+		m = &eqMech{rng: rand.New(rand.NewSource(mechSeed))}
+	default:
+		t.Fatalf("unknown mechanism %q", mech)
+	}
+	ctrl, err := New(cfg, ch, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.refScan = ref
+	ec := &eqController{ctrl: ctrl}
+	ctrl.OnACT(func(rank, bank, row int, cycle int64) {
+		ec.log.cmds = append(ec.log.cmds, fmt.Sprintf("ACT %d %d %d @%d", rank, bank, row, cycle))
+	})
+	ctrl.OnRefresh(func(rank, bank, rowStart, rowCount int, cycle int64) {
+		ec.log.cmds = append(ec.log.cmds, fmt.Sprintf("REF %d %d %d+%d @%d", rank, bank, rowStart, rowCount, cycle))
+	})
+	return ec
+}
+
+// runEquivalence drives an indexed and a reference controller in
+// lockstep for steps randomized operations and asserts identical
+// behaviour throughout.
+func runEquivalence(t *testing.T, cfg Config, mech string, seed int64, steps int) {
+	t.Helper()
+	idx := newEqController(t, cfg, seed*31+7, mech, false)
+	ref := newEqController(t, cfg, seed*31+7, mech, true)
+
+	geo := dram.Table6Geometry()
+	mapper, err := dram.NewAddressMapper(geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	banks := geo.Banks()
+	// A small hot row set concentrates traffic so row-hit chains,
+	// starvation preemption, and BLISS streaks all trigger.
+	hotRows := []int{100, 101, 102, 103, 200, 201}
+
+	randomAddr := func() int64 {
+		row := hotRows[rng.Intn(len(hotRows))]
+		if rng.Intn(4) == 0 {
+			row = 10 + rng.Intn(500)
+		}
+		return mapper.AddressOf(dram.Address{
+			Bank: rng.Intn(banks),
+			Row:  row,
+			Col:  rng.Intn(64),
+		})
+	}
+
+	for i := 0; i < steps; i++ {
+		switch op := rng.Intn(100); {
+		case op < 50: // enqueue a read on both
+			req := rng.Intn(8) - 1 // occasionally RequesterNone
+			addr := randomAddr()
+			id := i
+			a1 := idx.ctrl.EnqueueRead(req, addr, func() { idx.log.done = append(idx.log.done, id) })
+			a2 := ref.ctrl.EnqueueRead(req, addr, func() { ref.log.done = append(ref.log.done, id) })
+			if a1 != a2 {
+				t.Fatalf("step %d: EnqueueRead accept mismatch: indexed=%v reference=%v", i, a1, a2)
+			}
+		case op < 65: // enqueue a write on both
+			req := rng.Intn(8) - 1
+			addr := randomAddr()
+			idx.ctrl.EnqueueWrite(req, addr)
+			ref.ctrl.EnqueueWrite(req, addr)
+		case op < 95: // advance both a random burst
+			for k := 1 + rng.Intn(60); k > 0; k-- {
+				idx.ctrl.Tick()
+				ref.ctrl.Tick()
+			}
+		default: // idle-skip: NextWork must agree, then replay the gap
+			n1, n2 := idx.ctrl.NextWork(), ref.ctrl.NextWork()
+			if n1 != n2 {
+				t.Fatalf("step %d: NextWork mismatch: indexed=%d reference=%d", i, n1, n2)
+			}
+			if k := n1 - idx.ctrl.Cycle() - 1; k > 0 {
+				idx.ctrl.AdvanceIdle(k)
+				ref.ctrl.AdvanceIdle(k)
+			}
+		}
+		if idx.ctrl.PendingReads() != ref.ctrl.PendingReads() {
+			t.Fatalf("step %d: pending reads diverged: indexed=%d reference=%d",
+				i, idx.ctrl.PendingReads(), ref.ctrl.PendingReads())
+		}
+	}
+	// Drain all outstanding work so completion logs are total.
+	for k := 0; k < 200_000 && (idx.ctrl.PendingReads() > 0 || ref.ctrl.PendingReads() > 0); k++ {
+		idx.ctrl.Tick()
+		ref.ctrl.Tick()
+	}
+
+	if !reflect.DeepEqual(idx.log.done, ref.log.done) {
+		t.Fatalf("read completion order diverged:\nindexed:   %v\nreference: %v", idx.log.done, ref.log.done)
+	}
+	if len(idx.log.cmds) != len(ref.log.cmds) {
+		t.Fatalf("command stream length diverged: indexed=%d reference=%d", len(idx.log.cmds), len(ref.log.cmds))
+	}
+	for i := range idx.log.cmds {
+		if idx.log.cmds[i] != ref.log.cmds[i] {
+			t.Fatalf("command %d diverged: indexed=%q reference=%q", i, idx.log.cmds[i], ref.log.cmds[i])
+		}
+	}
+	if !reflect.DeepEqual(idx.ctrl.Stats, ref.ctrl.Stats) {
+		t.Fatalf("stats diverged:\nindexed:   %+v\nreference: %+v", idx.ctrl.Stats, ref.ctrl.Stats)
+	}
+}
+
+// TestSchedulerEquivalence sweeps scheduler configurations × mechanism
+// pressures × seeds. Every cell must produce bit-identical behaviour
+// between the indexed and reference scan implementations.
+func TestSchedulerEquivalence(t *testing.T) {
+	smallQueues := Table6Config()
+	smallQueues.ReadQueue = 8
+	smallQueues.WriteQueue = 4
+
+	closedRow := Table6Config()
+	closedRow.ClosedRow = true
+
+	fcfs := Table6Config()
+	fcfs.FCFSOnly = true
+
+	blissClosed := blissConfig()
+	blissClosed.ClosedRow = true
+
+	cases := []struct {
+		name string
+		cfg  Config
+		mech string
+	}{
+		{"default-none", Table6Config(), "none"},
+		{"default-throttle", Table6Config(), "throttle"},
+		{"bliss-hammer", blissConfig(), "hammer"},
+		{"bliss-throttle", blissConfig(), "throttle"},
+		{"fcfs-none", fcfs, "none"},
+		{"closedrow-hammer", closedRow, "hammer"},
+		{"bliss-closedrow-throttle", blissClosed, "throttle"},
+		{"smallqueues-throttle", smallQueues, "throttle"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				runEquivalence(t, tc.cfg, tc.mech, seed, 600)
+			}
+		})
+	}
+}

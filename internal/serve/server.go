@@ -30,6 +30,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	httppprof "net/http/pprof"
 	"sync"
 	"time"
 
@@ -55,6 +56,11 @@ type Config struct {
 	Logger *slog.Logger
 	// MaxBodyBytes caps spec upload size; <= 0 means 1 MiB.
 	MaxBodyBytes int64
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ so a live
+	// service can be CPU/heap-profiled mid-grid. Off by default: the
+	// endpoints expose runtime internals, so only enable them on a
+	// trusted listener (rhx serve -pprof).
+	EnablePprof bool
 }
 
 // jobState is a job's lifecycle phase.
@@ -66,6 +72,13 @@ const (
 	stateDone    jobState = "done"
 	stateFailed  jobState = "failed"
 )
+
+// jobLinger is how long a done job stays registered after completion so
+// late SSE subscribers still receive the full per-shard replay (fast
+// grids can finish before an async submitter's /events request lands).
+// Afterwards the store is the source of truth and /events degrades to a
+// single terminal frame.
+const jobLinger = 2 * time.Minute
 
 // event is one SSE frame: a shard progress step or a terminal status.
 type event struct {
@@ -139,6 +152,13 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/experiments/{hash}", s.handleGet)
 	mux.HandleFunc("GET /v1/experiments/{hash}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/registry", s.handleRegistry)
+	if cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", httppprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", httppprof.Trace)
+	}
 	s.mux = mux
 	return s, nil
 }
@@ -515,12 +535,23 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 		"outcome", string(j.snapshotState()), "error", j.snapshotErr(),
 		"duration_ms", float64(time.Since(start).Microseconds())/1000)
 
-	// Finished jobs linger briefly for status/event queries, then the
-	// store is the source of truth. Failed jobs are forgotten so a
-	// resubmission retries (partial shard entries make the retry cheap).
-	s.mu.Lock()
-	delete(s.jobs, j.hash)
-	s.mu.Unlock()
+	// Failed jobs are forgotten immediately so a resubmission retries
+	// (partial shard entries make the retry cheap). Done jobs linger for
+	// jobLinger so status/event queries racing the completion still see
+	// the replay buffer, then the store is the source of truth. The
+	// timer only prunes a map entry, so it is safe to fire after
+	// Shutdown.
+	if j.snapshotState() == stateFailed {
+		s.mu.Lock()
+		delete(s.jobs, j.hash)
+		s.mu.Unlock()
+		return
+	}
+	time.AfterFunc(jobLinger, func() {
+		s.mu.Lock()
+		delete(s.jobs, j.hash)
+		s.mu.Unlock()
+	})
 }
 
 func (j *job) setState(st jobState) {

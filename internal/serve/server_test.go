@@ -509,3 +509,29 @@ func TestWaitSubmitOnPartialCache(t *testing.T) {
 		t.Fatal("partial-cache service result differs from uncached run")
 	}
 }
+
+func TestPprofEndpointsGatedByConfig(t *testing.T) {
+	_, off := newTestServer(t, Config{})
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof disabled: GET /debug/pprof/ = %d, want 404", resp.StatusCode)
+	}
+
+	_, on := newTestServer(t, Config{EnablePprof: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof enabled: GET /debug/pprof/ = %d, want 200", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte("goroutine")) {
+		t.Fatal("pprof index does not list profiles")
+	}
+}

@@ -3,22 +3,24 @@
 # bench_test.go suite under both simulation engines with pinned
 # -benchtime/-count so numbers stay comparable across PRs.
 #
-# Usage: scripts/bench.sh [out.json]     (default BENCH_7.json)
-#   BENCHTIME=3x COUNT=3 scripts/bench.sh    # override the pins
+# Usage: scripts/bench.sh [out.json]     (default BENCH_8.json)
+#   BENCHTIME=3x COUNT=5 scripts/bench.sh    # override the pins
 #
 # Per benchmark the minimum ns/op over COUNT runs is kept — the standard
-# noise-robust statistic for shared machines — and the engines alternate
-# per iteration so slow host periods skew both columns equally instead of
-# whichever engine happened to run second.
+# noise-robust statistic for shared machines — along with that run's
+# bytes/op and allocs/op (-benchmem), which are iteration-deterministic
+# and expose allocation regressions the timing noise can hide. The
+# engines alternate per iteration so slow host periods skew both columns
+# equally instead of whichever engine happened to run second.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-3x}"
-COUNT="${COUNT:-3}"
-OUT="${1:-BENCH_7.json}"
+COUNT="${COUNT:-5}"
+OUT="${1:-BENCH_8.json}"
 
 run() {
-	RH_ENGINE="$1" go test -run '^$' -bench . -benchtime="$BENCHTIME" -count=1 .
+	RH_ENGINE="$1" go test -run '^$' -bench . -benchtime="$BENCHTIME" -benchmem -count=1 .
 }
 
 event_raw=""
@@ -34,10 +36,11 @@ done
 	printf '  "benchtime": "%s",\n' "$BENCHTIME"
 	printf '  "count": %s,\n' "$COUNT"
 	printf '  "go": "%s",\n' "$(go env GOVERSION)"
-	printf '  "statistic": "min ns/op over count runs",\n'
+	printf '  "statistic": "min ns/op over count runs; bytes/allocs from the min run",\n'
+	printf '  "caveat": "ns/op is shared-machine noisy (BENCH_7 drifted up to ~50%% vs BENCH_6 on untouched benchmarks); compare trajectories on min-of-count and on the deterministic allocs_op/bytes_op columns",\n'
 	printf '  "benchmarks": [\n'
 	awk -v event="$event_raw" -v cycle="$cycle_raw" '
-	function collect(raw, min, order,    n, lines, i, parts, name, ns) {
+	function collect(raw, min, bytes, allocs, order,    n, lines, i, parts, name, ns) {
 		n = split(raw, lines, "\n")
 		for (i = 1; i <= n; i++) {
 			if (lines[i] !~ /^Benchmark/) continue
@@ -48,18 +51,20 @@ done
 			if (!(name in min) || ns < min[name]) {
 				if (!(name in min)) order[++order[0]] = name
 				min[name] = ns
+				bytes[name] = parts[5] + 0
+				allocs[name] = parts[7] + 0
 			}
 		}
 	}
 	BEGIN {
-		collect(event, emin, eorder)
-		collect(cycle, cmin, corder)
+		collect(event, emin, ebytes, eallocs, eorder)
+		collect(cycle, cmin, cbytes, callocs, corder)
 		for (i = 1; i <= eorder[0]; i++) {
 			name = eorder[i]
 			sep = (i < eorder[0]) ? "," : ""
 			ratio = (name in cmin && emin[name] > 0) ? cmin[name] / emin[name] : 0
-			printf "    {\"name\": \"%s\", \"event_ns_op\": %d, \"cycle_ns_op\": %d, \"cycle_over_event\": %.3f}%s\n", \
-				name, emin[name], cmin[name], ratio, sep
+			printf "    {\"name\": \"%s\", \"event_ns_op\": %d, \"event_bytes_op\": %d, \"event_allocs_op\": %d, \"cycle_ns_op\": %d, \"cycle_bytes_op\": %d, \"cycle_allocs_op\": %d, \"cycle_over_event\": %.3f}%s\n", \
+				name, emin[name], ebytes[name], eallocs[name], cmin[name], cbytes[name], callocs[name], ratio, sep
 		}
 	}'
 	printf '  ]\n'
