@@ -1,0 +1,29 @@
+// Command rhlint runs the repository's determinism and hot-path lint
+// suite (internal/analysis). It is both a standalone checker and a
+// `go vet -vettool`:
+//
+//	rhlint ./...                            standalone
+//	go vet -vettool=$(command -v rhlint) ./...   through the go command
+//
+// See docs/LINT.md for the analyzer catalog and annotation grammar.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	if analysis.IsUnitProtocol(args) {
+		analysis.UnitMain(args) // exits
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhlint: %v\n", err)
+		os.Exit(2)
+	}
+	os.Exit(analysis.Standalone(dir, args, os.Stdout, os.Stderr))
+}

@@ -20,6 +20,7 @@
 //	rhx spec -name pareto                     # emit a template spec
 //	rhx spec -name pareto -hash               # print its content address
 //	rhx serve -addr :8080 -store cache/       # HTTP experiment service
+//	rhx lint                                  # how to run the rhlint analyzers
 //
 // The -store flag (shared by run and serve) points at a content-
 // addressed result store: results are keyed by the SHA-256 of their
@@ -66,6 +67,8 @@ func main() {
 		err = cmdSpec(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "lint":
+		err = cmdLint(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -87,7 +90,8 @@ func usage() {
   rhx merge [-out f] [-format] part...   merge shard results
   rhx fmt   result.json                  render a stored result
   rhx spec  -name n [-seed s] [-hash]    emit a template spec (or its hash)
-  rhx serve -addr a -store d [flags]     run the HTTP experiment service`)
+  rhx serve -addr a -store d [flags]     run the HTTP experiment service
+  rhx lint                               show how to run the rhlint static analyzers`)
 }
 
 // loadSpec resolves -spec/-name/-seed/-shard into a validated spec.
@@ -376,6 +380,34 @@ func cmdSpec(args []string) error {
 	}
 	_, err = os.Stdout.Write(data)
 	return err
+}
+
+// cmdLint points at the rhlint static-analysis suite. The analyzers live
+// in their own binary (cmd/rhlint) because the go vet -vettool protocol
+// requires a dedicated executable; this subcommand exists so the lint
+// entry point is discoverable from the experiment CLI.
+func cmdLint(args []string) error {
+	fs := flag.NewFlagSet("rhx lint", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Print(`rhx lint: the static analyzers ship as cmd/rhlint (see docs/LINT.md).
+
+Run them standalone:
+
+  go build -o /tmp/rhlint ./cmd/rhlint
+  /tmp/rhlint ./...
+
+or through go vet (identical diagnostics, build-cache driven):
+
+  go vet -vettool=/tmp/rhlint ./...
+
+or as part of the full lint gate (gofmt, go vet, rhlint, staticcheck,
+shellcheck):
+
+  scripts/lint.sh
+`)
+	return nil
 }
 
 // signalContext returns a context canceled by SIGINT/SIGTERM, so ^C

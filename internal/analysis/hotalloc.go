@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc reports allocating constructs inside functions annotated
+// //rhlint:hotpath — the saturated Tick/EnqueueRead/NextWork chain whose
+// zero-alloc property the runtime gates (TestSaturatedTickZeroAlloc and
+// the bulk-skip gate) assert empirically. The static view catches the
+// regression at review time; the runtime gate catches what escapes the
+// static view.
+//
+// Flagged constructs:
+//
+//   - append whose destination shows no capacity evidence (any append is
+//     flagged; amortized-growth sites carry an allow with the reasoning);
+//   - make/new and map, slice, or &struct composite literals;
+//   - function literals that capture variables (escaping closures);
+//   - implicit or explicit conversion of a non-pointer-shaped value to
+//     an interface (boxing).
+//
+// Unlike the determinism analyzers, hotalloc applies wherever the
+// annotation appears — any package, including _test.go files — because
+// the annotation itself is the opt-in.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: `reports allocating constructs in //rhlint:hotpath functions
+
+Functions whose doc comment carries //rhlint:hotpath must not allocate:
+no append/make/new, no map/slice/&struct literals, no capturing
+closures, no boxing of non-pointer values into interfaces. Amortized or
+one-time allocations carry //rhlint:allow hotalloc(reason).`,
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, n)
+		case *ast.CompositeLit:
+			tv, ok := info.Types[n]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates in hotpath %s", fd.Name.Name)
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates in hotpath %s", fd.Name.Name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal allocates in hotpath %s (reuse a pooled or preallocated object)", fd.Name.Name)
+				}
+			}
+		case *ast.FuncLit:
+			if capt := capturedVar(info, n, fd); capt != nil {
+				pass.Reportf(n.Pos(), "closure captures %s in hotpath %s: capturing closures allocate (hoist the closure or pass state explicitly)", capt.Name(), fd.Name.Name)
+			}
+			return false // don't double-report the literal's own body
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in hotpath %s: goroutine start allocates its stack", fd.Name.Name)
+		}
+		return true
+	})
+	// Boxing: walk again looking at every expression with both a
+	// concrete type and an interface conversion context.
+	checkBoxing(pass, fd)
+}
+
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				pass.Reportf(call.Pos(), "append in hotpath %s may grow the backing array (preallocate, use a free list, or //rhlint:allow hotalloc(amortized: ...))", fd.Name.Name)
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates in hotpath %s", fd.Name.Name)
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates in hotpath %s", fd.Name.Name)
+			}
+			return
+		}
+	}
+}
+
+// capturedVar returns a variable the function literal captures from its
+// enclosing function, or nil. Package-level variables and the literal's
+// own parameters/locals are not captures.
+func capturedVar(info *types.Info, lit *ast.FuncLit, outer *ast.FuncDecl) *types.Var {
+	var captured *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		pos := v.Pos()
+		// Declared inside the literal: local, not a capture.
+		if lit.Pos() <= pos && pos < lit.End() {
+			return true
+		}
+		// Declared inside the enclosing function (parameters included):
+		// a capture. Anything declared outside it is package scope.
+		if outer.Pos() <= pos && pos < outer.End() {
+			captured = v
+			return false
+		}
+		return true
+	})
+	return captured
+}
+
+// checkBoxing flags conversions of non-pointer-shaped concrete values to
+// interface types: call arguments, explicit conversions, and returns.
+func checkBoxing(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Explicit conversion T(x) where T is an interface.
+			if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+				if types.IsInterface(tv.Type) && len(n.Args) == 1 {
+					reportBox(pass, fd, n.Args[0])
+				}
+				return true
+			}
+			// Implicit conversion at a call site with interface params.
+			sig := callSignature(info, n)
+			if sig == nil {
+				return true
+			}
+			params := sig.Params()
+			for i, arg := range n.Args {
+				var pt types.Type
+				switch {
+				case sig.Variadic() && i >= params.Len()-1:
+					pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+				case i < params.Len():
+					pt = params.At(i).Type()
+				}
+				if pt != nil && types.IsInterface(pt.Underlying()) {
+					reportBox(pass, fd, arg)
+				}
+			}
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+}
+
+// reportBox flags arg if its concrete type boxes on conversion to an
+// interface. Pointer-shaped values (pointers, channels, maps, funcs,
+// unsafe pointers) fit in the interface word; everything else — ints,
+// strings, structs, slices — escapes to the heap when boxed (small-int
+// staticuint64s caching notwithstanding; on a hot path even that is a
+// data-dependent branch worth surfacing).
+func reportBox(pass *Pass, fd *ast.FuncDecl, arg ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Type == nil {
+		return
+	}
+	t := tv.Type
+	if types.IsInterface(t.Underlying()) {
+		return // interface-to-interface: no box
+	}
+	if tv.IsNil() {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Basic:
+		if b, ok := t.Underlying().(*types.Basic); ok {
+			if b.Kind() == types.UnsafePointer {
+				return
+			}
+			// Constants of basic type may be boxed statically, but
+			// variables are not.
+			if tv.Value != nil {
+				return
+			}
+			pass.Reportf(arg.Pos(), "interface conversion boxes %s in hotpath %s (non-pointer value escapes to the heap)", t, fd.Name.Name)
+			return
+		}
+		return // pointer-shaped: stored in the interface word
+	default:
+		pass.Reportf(arg.Pos(), "interface conversion boxes %s in hotpath %s (non-pointer value escapes to the heap)", t, fd.Name.Name)
+	}
+}
+
+// callSignature returns the signature of the called function, or nil
+// for builtins and type conversions.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.(*types.Signature)
+	return sig
+}

@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SeedFlow enforces the per-task seed-derivation discipline: PRNG state
+// is constructed from a derived task seed and never crosses a goroutine
+// boundary. Sharing one generator across goroutines makes draw order
+// depend on the scheduler — the exact bug class the per-task
+// DeriveSeed/Fork design exists to prevent, and the one that breaks
+// shard-merge bit-identity across worker processes.
+//
+// Two checks:
+//
+//   - construction: rand.NewSource / rand.New / stats.NewRNG arguments
+//     must trace to a seed (an identifier mentioning "seed", a
+//     DeriveSeed call, or a draw from an existing generator as in
+//     Fork); constructing from a literal unrelated expression is
+//     flagged;
+//   - sharing: a go statement must not receive a PRNG-typed argument,
+//     run a method on a PRNG receiver, or capture a PRNG-typed variable
+//     declared outside its function literal.
+var SeedFlow = &Analyzer{
+	Name: "seedflow",
+	Doc: `flags PRNGs built from non-seed values or shared across goroutines
+
+PRNG constructors (rand.NewSource, rand.New, rand.NewPCG, stats.NewRNG)
+must be fed a derived task seed: an expression mentioning a seed
+variable, engine.DeriveSeed(...), or a draw from an existing generator
+(the Fork pattern). A go statement must not carry PRNG state across the
+goroutine boundary — fork a child generator per goroutine instead.`,
+	Run: runSeedFlow,
+}
+
+func runSeedFlow(pass *Pass) error {
+	if !simVisiblePkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkSeedConstruction(pass, n)
+			case *ast.GoStmt:
+				checkGoroutineSharing(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// seededCtors maps constructor name -> index of the seed argument, for
+// math/rand, math/rand/v2, and the repo's stats.NewRNG.
+func seedArgIndex(obj types.Object) (int, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return 0, false
+	}
+	path, name := obj.Pkg().Path(), obj.Name()
+	switch {
+	case path == "math/rand" && name == "NewSource":
+		return 0, true
+	case path == "math/rand/v2" && (name == "NewPCG" || name == "NewChaCha8"):
+		return 0, true
+	case strings.HasSuffix(path, "internal/stats") && name == "NewRNG":
+		return 0, true
+	}
+	return 0, false
+}
+
+func checkSeedConstruction(pass *Pass, call *ast.CallExpr) {
+	obj := calleeFunc(pass.TypesInfo, call)
+	i, ok := seedArgIndex(obj)
+	if !ok || len(call.Args) <= i {
+		return
+	}
+	arg := call.Args[i]
+	if isSeedDerived(pass.TypesInfo, arg) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s seeded from %s, which does not trace to a derived task seed (use engine.DeriveSeed, a seed-named variable, or Fork an existing generator)",
+		obj.Name(), types.ExprString(arg))
+}
+
+// isSeedDerived reports whether the expression plausibly carries a
+// derived seed: it mentions an identifier or selector whose name
+// contains "seed" (case-insensitive), calls a function whose name
+// contains "seed" or is DeriveSeed, or draws from an existing PRNG
+// (a method call on a PRNG-typed receiver — the Fork pattern).
+func isSeedDerived(info *types.Info, e ast.Expr) bool {
+	derived := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if derived {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if strings.Contains(strings.ToLower(n.Name), "seed") {
+				derived = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if tv, ok := info.Types[sel.X]; ok && isPRNGType(tv.Type) {
+					derived = true // rng.Uint64() and friends: the Fork pattern
+				}
+			}
+		}
+		return !derived
+	})
+	return derived
+}
+
+// prngNames are the generator types whose sharing across goroutines is
+// scheduler-dependent.
+var prngNames = map[string]map[string]bool{
+	"math/rand":    {"Rand": true, "Source": true, "Source64": true, "Zipf": true},
+	"math/rand/v2": {"Rand": true, "Source": true, "Zipf": true, "PCG": true, "ChaCha8": true},
+}
+
+// isPRNGType reports whether t (possibly behind a pointer) is a known
+// generator type, including the repo's stats.RNG.
+func isPRNGType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	if names, ok := prngNames[path]; ok && names[name] {
+		return true
+	}
+	return strings.HasSuffix(path, "internal/stats") && name == "RNG"
+}
+
+func checkGoroutineSharing(pass *Pass, g *ast.GoStmt) {
+	info := pass.TypesInfo
+	call := g.Call
+
+	// go rng.Method(...) — the receiver itself crosses the boundary.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if tv, ok := info.Types[sel.X]; ok && isPRNGType(tv.Type) {
+			pass.Reportf(g.Pos(), "goroutine runs a method on shared PRNG %s: draw order becomes scheduler-dependent (Fork a child generator per goroutine)", types.ExprString(sel.X))
+			return
+		}
+	}
+	// go f(rng) — PRNG passed as an argument.
+	for _, arg := range call.Args {
+		if tv, ok := info.Types[arg]; ok && isPRNGType(tv.Type) {
+			// A fresh fork created in the argument list is the sanctioned
+			// pattern: go f(rng.Fork()).
+			if isFreshFork(info, arg) {
+				continue
+			}
+			pass.Reportf(arg.Pos(), "PRNG %s passed across goroutine boundary: draw order becomes scheduler-dependent (pass rng.Fork() or a derived seed instead)", types.ExprString(arg))
+		}
+	}
+	// go func() { ...rng... }() — PRNG captured by the literal.
+	lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || !isPRNGType(v.Type()) {
+			return true
+		}
+		// Declared inside the literal (including its parameters): fine.
+		if lit.Pos() <= v.Pos() && v.Pos() < lit.End() {
+			return true
+		}
+		pass.Reportf(id.Pos(), "goroutine captures PRNG %s declared outside it: draw order becomes scheduler-dependent (Fork a child generator inside the goroutine's task seed)", v.Name())
+		return true
+	})
+}
+
+// isFreshFork reports whether the expression is a call that produces a
+// new generator (rng.Fork(), stats.NewRNG(...), rand.New(...)): the
+// value never existed before the go statement, so nothing is shared.
+func isFreshFork(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := info.Types[call]
+	return ok && isPRNGType(tv.Type)
+}

@@ -1,0 +1,66 @@
+package analysis
+
+// The standalone driver: `rhlint [packages]` loads the patterns
+// (default ./...), runs the suite, and prints findings. It is the
+// byte-equivalent of the `go vet -vettool` invocation (unit.go) for
+// non-test files; CI may use either.
+
+import (
+	"fmt"
+	"io"
+)
+
+// Standalone runs the suite over the patterns and returns the process
+// exit code: 0 clean, 1 findings, 2 operational error.
+func Standalone(dir string, args []string, stdout, stderr io.Writer) int {
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if len(patterns) == 1 && (patterns[0] == "help" || patterns[0] == "-h" || patterns[0] == "--help") {
+		printHelp(stdout)
+		return 0
+	}
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "rhlint: %v\n", err)
+		return 2
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(pkg, Analyzers())
+		if err != nil {
+			fmt.Fprintf(stderr, "rhlint: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+			found++
+		}
+	}
+	if found > 0 {
+		return 1
+	}
+	return 0
+}
+
+func printHelp(w io.Writer) {
+	fmt.Fprintf(w, `rhlint statically enforces the repository's determinism and hot-path
+allocation discipline. See docs/LINT.md.
+
+Usage:
+  rhlint [packages]                 standalone (default ./...)
+  go vet -vettool=$(which rhlint) ./...   as a vet tool (includes test
+                                    packages; _test.go files are exempt)
+
+Suppress a finding with an annotation carrying a reason, on the line or
+the line above:
+  //rhlint:allow mapiter(keys sorted by the caller)
+Opt a function into hotalloc with //rhlint:hotpath in its doc comment.
+
+Analyzers:
+`)
+	for _, a := range Analyzers() {
+		fmt.Fprintf(w, "\n%s:\n%s\n", a.Name, a.Doc)
+	}
+}

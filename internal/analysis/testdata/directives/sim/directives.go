@@ -1,0 +1,38 @@
+// Package sim exercises the directive grammar: malformed //rhlint:
+// comments are driver diagnostics (analyzer "rhlint") and cannot be
+// suppressed.
+package sim
+
+//rhlint:allow // want `malformed rhlint directive`
+
+//rhlint:allow mapiter // want `malformed rhlint directive`
+
+//rhlint:allow bogus(some reason) // want `unknown analyzer "bogus"`
+
+//rhlint:allow mapiter( ) // want `empty reason`
+
+// A well-formed hotpath directive is not a diagnostic.
+//
+//rhlint:hotpath
+func fine() {}
+
+// A well-formed allow with analyzer and reason is not a diagnostic, and
+// suppresses its finding.
+func allowed(m map[string]int) int {
+	n := 0
+	//rhlint:allow mapiter(commutative count)
+	for range m {
+		n++
+	}
+	return n
+}
+
+// An allow naming the wrong analyzer does not suppress the finding.
+func wrongAnalyzer(m map[string]int) int {
+	n := 0
+	//rhlint:allow wallclock(mentions the wrong analyzer)
+	for range m { // want `range over map m`
+		n++
+	}
+	return n
+}

@@ -1,0 +1,89 @@
+// Package hot exercises the hotalloc analyzer. The package path is NOT
+// simulation-visible: hotalloc is gated by the //rhlint:hotpath
+// annotation alone.
+package hot
+
+type node struct{ v int }
+
+// sink is a non-hot helper with an interface parameter.
+func sink(vals ...any) int { return len(vals) }
+
+//rhlint:hotpath
+func appends(xs []int, n int) []int {
+	out := make([]int, 0, n) // want `make allocates in hotpath appends`
+	for _, x := range xs {
+		out = append(out, x) // want `append in hotpath appends`
+	}
+	return out
+}
+
+// cold is identical but unannotated: nothing is reported.
+func cold(xs []int, n int) []int {
+	out := make([]int, 0, n)
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+//rhlint:hotpath
+func literals() (map[string]int, []int, *node) {
+	m := map[string]int{} // want `map literal allocates in hotpath literals`
+	s := []int{1, 2}      // want `slice literal allocates in hotpath literals`
+	p := &node{v: 1}      // want `&composite literal allocates in hotpath literals`
+	return m, s, p
+}
+
+//rhlint:hotpath
+func newAlloc() *node {
+	return new(node) // want `new allocates in hotpath newAlloc`
+}
+
+//rhlint:hotpath
+func capturing(k int) func() int {
+	return func() int { return k } // want `closure captures k in hotpath capturing`
+}
+
+// globalFn is package scope: referring to it from a literal is not a
+// capture, so the closure below is allocation-free (a static funcval).
+var globalCounter int
+
+//rhlint:hotpath
+func nonCapturing() func() {
+	return func() { globalCounter++ }
+}
+
+//rhlint:hotpath
+func boxesInt(v int64) int {
+	return sink(v) // want `interface conversion boxes int64 in hotpath boxesInt`
+}
+
+//rhlint:hotpath
+func boxesStruct(n node) int {
+	return sink(n) // want `interface conversion boxes .*node in hotpath boxesStruct`
+}
+
+//rhlint:hotpath
+func boxesExplicit(v int) any {
+	return any(v) // want `interface conversion boxes int in hotpath boxesExplicit`
+}
+
+// pointerShaped: a pointer fits in the interface word — no box, no report.
+//
+//rhlint:hotpath
+func pointerShaped(p *node) int {
+	return sink(p)
+}
+
+//rhlint:hotpath
+func spawns(f func()) {
+	go f() // want `go statement in hotpath spawns`
+}
+
+// allowedAmortized: annotated allocation sites are suppressed.
+//
+//rhlint:hotpath
+func allowedAmortized(buf []int, v int) []int {
+	//rhlint:allow hotalloc(amortized: callers reuse capacity across calls)
+	return append(buf, v)
+}

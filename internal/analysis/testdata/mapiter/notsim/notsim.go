@@ -1,0 +1,11 @@
+// Package util is not simulation-visible (its import path ends in
+// "util"), so mapiter reports nothing here.
+package util
+
+func unflagged(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,12 @@
+// _test.go files are exempt from the determinism analyzers: tests do
+// not produce published results, and the runtime suites pin their
+// behavior. No diagnostics expected anywhere in this file.
+package sim
+
+func testOnlyIteration(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,90 @@
+// Package sim exercises the mapiter analyzer: its import path ends in
+// "sim", so every range over a map is simulation-visible.
+package sim
+
+import "sort"
+
+// flagged: the sum is order-independent here, but the analyzer cannot
+// prove that in general and demands a sort or an annotation.
+func flagged(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map m`
+		total += v
+	}
+	return total
+}
+
+// flaggedField: field selections are flagged like locals.
+type holder struct{ cells map[int]bool }
+
+func (h *holder) flaggedField() int {
+	n := 0
+	for range h.cells { // want `range over map h\.cells`
+		n++
+	}
+	return n
+}
+
+// allowedAbove: an annotation on the line above suppresses the finding.
+func allowedAbove(m map[string]int) int {
+	total := 0
+	//rhlint:allow mapiter(commutative integer sum)
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// allowedTrailing: a trailing annotation on the same line works too.
+func allowedTrailing(m map[string]int) int {
+	total := 0
+	for _, v := range m { //rhlint:allow mapiter(commutative integer sum)
+		total += v
+	}
+	return total
+}
+
+// sortedKeys: the sort-then-iterate pattern is exempt without annotation.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortSlice: sort.Slice over collected values is recognized as well.
+func sortSlice(m map[string]int) []int {
+	vals := make([]int, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// clearAll: the delete-clear idiom is exempt.
+func clearAll(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// escapes: writing through a pointer inside the loop publishes state
+// before any later sort, so the exemption does not apply.
+func escapes(m map[string]int, out *[]string) {
+	for k := range m { // want `range over map m`
+		*out = append(*out, k)
+	}
+	sort.Strings(*out)
+}
+
+// unsorted: collecting into a local without ever sorting it is flagged.
+func unsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map m`
+		keys = append(keys, k)
+	}
+	return keys
+}

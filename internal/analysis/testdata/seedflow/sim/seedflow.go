@@ -1,0 +1,76 @@
+// Package sim exercises the seedflow analyzer, using both math/rand and
+// the repository's stats.RNG.
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/stats"
+)
+
+// badSource: seeding from an arbitrary value is flagged.
+func badSource(x int64) *rand.Rand {
+	return rand.New(rand.NewSource(x)) // want `NewSource seeded from x`
+}
+
+// badLiteral: a bare literal seed is flagged too.
+func badLiteral() *stats.RNG {
+	return stats.NewRNG(42) // want `NewRNG seeded from 42`
+}
+
+// goodSeedName: an argument mentioning a seed variable passes.
+func goodSeedName(taskSeed int64) *rand.Rand {
+	return rand.New(rand.NewSource(taskSeed))
+}
+
+// goodDerive: a derivation call with "seed" in its name passes.
+func deriveSeed(base uint64, i int) uint64 { return base + uint64(i) }
+
+func goodDerive(base uint64, i int) *stats.RNG {
+	return stats.NewRNG(deriveSeed(base, i))
+}
+
+// goodFork: drawing the seed from an existing generator (the Fork
+// pattern) passes.
+func goodFork(r *stats.RNG) *stats.RNG {
+	return stats.NewRNG(r.Uint64())
+}
+
+// allowedLiteral: an annotated fixed stream is suppressed.
+func allowedLiteral() *stats.RNG {
+	//rhlint:allow seedflow(fixed calibration stream, not part of results)
+	return stats.NewRNG(7)
+}
+
+// capture: a goroutine capturing a PRNG from the enclosing scope is the
+// scheduler-dependence bug.
+func capture(r *stats.RNG, ch chan int) {
+	go func() {
+		ch <- int(r.Uint64()) // want `goroutine captures PRNG r`
+	}()
+}
+
+// passed: handing the generator itself across the boundary is flagged.
+func passed(r *stats.RNG, f func(*stats.RNG)) {
+	go f(r) // want `PRNG r passed across goroutine boundary`
+}
+
+// forked: passing a fresh fork is the sanctioned pattern.
+func forked(r *stats.RNG, f func(*stats.RNG)) {
+	go f(r.Fork())
+}
+
+// method: running a method on a shared generator in the new goroutine is
+// flagged at the go statement.
+func method(r *stats.RNG, sink chan uint64) {
+	go r.Uint64() // want `method on shared PRNG r`
+	_ = sink
+}
+
+// local: a generator created inside the goroutine is private to it.
+func local(taskSeed uint64, ch chan int) {
+	go func() {
+		r := stats.NewRNG(taskSeed)
+		ch <- int(r.Uint64())
+	}()
+}

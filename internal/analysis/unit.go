@@ -1,0 +1,217 @@
+package analysis
+
+// The `go vet -vettool` protocol, mirroring the contract of
+// x/tools/go/analysis/unitchecker without importing it:
+//
+//	rhlint -V=full          print an executable fingerprint (build cache key)
+//	rhlint -flags           print supported flags as JSON
+//	rhlint [-name...] x.cfg analyze one compilation unit described by the
+//	                        JSON config the go command wrote
+//
+// The config carries the file set of one package plus the export-data
+// and fact-file locations of its dependencies. rhlint's analyzers are
+// fact-free, so dependency fact files are ignored and an empty fact
+// file is written for dependents; VetxOnly invocations (the go command
+// pre-computing facts for dependencies, including the standard library)
+// return without parsing anything.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// vetConfig is the JSON compilation-unit description `go vet` passes.
+// Field names are fixed by the go command (see unitchecker.Config).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// IsUnitProtocol reports whether the arguments are a `go vet` driver
+// invocation rather than standalone package patterns.
+func IsUnitProtocol(args []string) bool {
+	for _, a := range args {
+		if strings.HasPrefix(a, "-V") || a == "-flags" || a == "--flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}
+
+// UnitMain implements the vet driver protocol on os.Args and exits.
+func UnitMain(args []string) {
+	log.SetFlags(0)
+	log.SetPrefix("rhlint: ")
+
+	enabled := map[string]bool{}
+	var cfgFile string
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full":
+			printVersion()
+			os.Exit(0)
+		case arg == "-flags" || arg == "--flags":
+			printUnitFlags()
+			os.Exit(0)
+		case strings.HasSuffix(arg, ".cfg"):
+			cfgFile = arg
+		case strings.HasPrefix(arg, "-"):
+			name, val, has := strings.Cut(strings.TrimLeft(arg, "-"), "=")
+			on := !has || val == "true" || val == "1"
+			switch name {
+			case "mapiter", "wallclock", "hotalloc", "seedflow":
+				enabled[name] = on
+			case "json", "c", "V", "source", "v", "all", "tags":
+				// Accepted for vet compatibility; plain output only.
+			default:
+				log.Fatalf("unknown flag %s", arg)
+			}
+		default:
+			log.Fatalf("unexpected argument %q (want a .cfg file from go vet)", arg)
+		}
+	}
+	if cfgFile == "" {
+		log.Fatalf("no .cfg file; invoke through go vet -vettool")
+	}
+	os.Exit(runUnit(cfgFile, enabled))
+}
+
+// printVersion emits the -V=full fingerprint the go command hashes into
+// its build cache key: content-derived, so editing the analyzers
+// invalidates cached vet results.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("rhlint version devel comments-go-here buildID=%02x\n", h.Sum(nil))
+}
+
+func printUnitFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	for _, a := range Analyzers() {
+		flags = append(flags, jsonFlag{a.Name, true, "enable " + a.Name + " analysis"})
+	}
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+func runUnit(cfgFile string, enabled map[string]bool) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode vet config %s: %v", cfgFile, err)
+	}
+
+	// Dependents expect a fact file to exist; rhlint has no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log.Fatalf("writing facts: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0 // the compiler reports the syntax error
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := &types.Config{
+		Importer:  mapImporter{m: cfg.ImportMap, gc: compilerImporter},
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Fatal(err)
+	}
+
+	analyzers := Analyzers()
+	if len(enabled) > 0 {
+		// Mirror multichecker semantics: any -name=true restricts the
+		// run to those; otherwise -name=false drops from the full set.
+		anyTrue := false
+		for _, on := range enabled {
+			anyTrue = anyTrue || on
+		}
+		var keep []*Analyzer
+		for _, a := range analyzers {
+			on, set := enabled[a.Name]
+			if anyTrue && set && on {
+				keep = append(keep, a)
+			}
+			if !anyTrue && !(set && !on) {
+				keep = append(keep, a)
+			}
+		}
+		analyzers = keep
+	}
+
+	pkg := &Package{Path: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info}
+	diags, err := RunPackage(pkg, analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

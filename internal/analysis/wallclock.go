@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// WallClock forbids ambient-environment reads in simulation-visible
+// packages: wall-clock time, the process-global math/rand state, and
+// environment variables. All three smuggle per-run state into what must
+// be a pure function of (config, seed).
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: `forbids time.Now, global math/rand, and os.Getenv in sim packages
+
+Simulation-visible packages must be pure functions of configuration and
+seed. time.Now/Since/Until, the package-level math/rand functions
+(rand.Intn, rand.Float64, ...), and os.Getenv/LookupEnv/Environ all read
+ambient process state. Seeded generators (rand.New(rand.NewSource(s)))
+and the documented RH_ENGINE engine-selection variable are allowed.`,
+	Run: runWallClock,
+}
+
+// seededRandConstructors are the math/rand functions that construct
+// explicit generators rather than touching the global one.
+var seededRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// allowedEnvVars are the documented configuration entrypoints read once
+// at startup (sync.OnceValue), never per-task.
+var allowedEnvVars = map[string]bool{"RH_ENGINE": true}
+
+func runWallClock(pass *Pass) error {
+	if !simVisiblePkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeFunc(pass.TypesInfo, call)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				return true
+			}
+			pkg, name := obj.Pkg().Path(), obj.Name()
+			switch pkg {
+			case "time":
+				switch name {
+				case "Now", "Since", "Until":
+					pass.Reportf(call.Pos(), "time.%s in simulation-visible package %q: wall-clock time must not influence simulated state (thread cycles or a seeded source instead)", name, pass.Pkg.Path())
+				}
+			case "os":
+				switch name {
+				case "Getenv", "LookupEnv", "Environ":
+					if name != "Environ" && isAllowedEnvRead(pass.TypesInfo, call) {
+						return true
+					}
+					pass.Reportf(call.Pos(), "os.%s in simulation-visible package %q: environment reads make runs machine-dependent (plumb configuration explicitly; RH_ENGINE is the one allowed entrypoint)", name, pass.Pkg.Path())
+				}
+			case "math/rand", "math/rand/v2":
+				// Only the package-level convenience functions use the
+				// global generator; methods on *Rand et al. have receivers.
+				if fn.Type().(*types.Signature).Recv() != nil {
+					return true
+				}
+				if seededRandConstructors[name] {
+					return true
+				}
+				pass.Reportf(call.Pos(), "global %s.%s in simulation-visible package %q: the process-global generator is shared, unseeded state (use a per-task seeded generator)", obj.Pkg().Name(), name, pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAllowedEnvRead reports whether the env read names an allowlisted
+// variable via a string constant.
+func isAllowedEnvRead(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return false
+	}
+	return allowedEnvVars[constant.StringVal(tv.Value)]
+}

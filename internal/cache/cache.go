@@ -147,6 +147,8 @@ func (c *Cache) Tick() {
 // AdvanceIdle advances the CPU clock n cycles without firing anything.
 // Legal only when no ring callback is due in the window — the caller must
 // cap n below NextPendingCycle()-Cycle().
+//
+//rhlint:hotpath
 func (c *Cache) AdvanceIdle(n int64) { c.cycle += n }
 
 // Cycle returns the cache's current CPU cycle.
@@ -156,6 +158,8 @@ func (c *Cache) Cycle() int64 { return c.cycle }
 // callback fires, or -1 when the ring is empty. Every scheduled callback
 // is due within the next len(ring)-1 cycles, so occupied slots map back
 // to absolute cycles unambiguously.
+//
+//rhlint:hotpath
 func (c *Cache) NextPendingCycle() int64 {
 	if c.npending == 0 {
 		return -1
@@ -180,6 +184,8 @@ func (c *Cache) NextPendingCycle() int64 {
 // PendingWithin reports whether any ring callback fires within the next
 // k cycles — a cheap gate (k slot probes) in front of the full
 // NextPendingCycle scan for callers that only care about short windows.
+//
+//rhlint:hotpath
 func (c *Cache) PendingWithin(k int64) bool {
 	if c.npending == 0 {
 		return false

@@ -54,6 +54,7 @@ func (t *Tester) MeasureCoverage(hc, iterations, stride int) (*CoverageResult, e
 			if err != nil {
 				return nil, err
 			}
+			//rhlint:allow mapiter(builds membership sets; only len() is read)
 			for f := range sw.Flips {
 				set[f] = true
 				union[f] = true
@@ -62,6 +63,7 @@ func (t *Tester) MeasureCoverage(hc, iterations, stride int) (*CoverageResult, e
 		perPattern[p] = set
 	}
 	res.Total = len(union)
+	//rhlint:allow mapiter(independent per-key writes into result maps)
 	for p, set := range perPattern {
 		res.FlipCount[p] = len(set)
 		if res.Total > 0 {
@@ -119,12 +121,14 @@ func (t *Tester) MeasureSpatial(hc, stride int) (*SpatialProfile, error) {
 		return nil, err
 	}
 	p := &SpatialProfile{HC: hc, Fraction: make(map[int]float64)}
+	//rhlint:allow mapiter(commutative integer sum)
 	for _, n := range sw.FlipsByDist {
 		p.Total += n
 	}
 	if p.Total == 0 {
 		return p, nil
 	}
+	//rhlint:allow mapiter(independent per-key writes into result map)
 	for off, n := range sw.FlipsByDist {
 		p.Fraction[off] = float64(n) / float64(p.Total)
 	}
@@ -148,6 +152,7 @@ func (t *Tester) MeasureWordDensity(hc, stride int) (*WordDensity, error) {
 	}
 	type wordKey struct{ bank, row, word int }
 	words := make(map[wordKey]int)
+	//rhlint:allow mapiter(commutative counting into a map)
 	for f := range sw.Flips {
 		words[wordKey{f.Bank, f.Row, f.Bit / 64}]++
 	}
@@ -155,6 +160,7 @@ func (t *Tester) MeasureWordDensity(hc, stride int) (*WordDensity, error) {
 	if len(words) == 0 {
 		return d, nil
 	}
+	//rhlint:allow mapiter(every bucket sums identical addends; order cannot change rounding)
 	for _, n := range words {
 		if n > 5 {
 			n = 5
@@ -249,6 +255,7 @@ func (t *Tester) MeasureMonotonicity(hcs []int, iterations, stride int) (*Monoto
 		}
 	}
 	res := &MonotonicityResult{HCs: hcs, Iterations: iterations, Cells: len(counts)}
+	//rhlint:allow mapiter(commutative count of monotonic sequences)
 	for _, seq := range counts {
 		mono := true
 		for i := 1; i < len(seq); i++ {

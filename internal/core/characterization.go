@@ -212,6 +212,9 @@ func finalizeFigure5(keys []ConfigKey, jobs []chipJob, curves []map[int]float64)
 		}
 		sums := make(map[int]float64, len(hcs))
 		for _, curve := range perChip {
+			// Each bucket receives one addend per chip, in perChip order;
+			// map order only picks which bucket is touched first.
+			//rhlint:allow mapiter(per-bucket addend order fixed by perChip slice order)
 			for hc, r := range curve {
 				sums[hc] += r
 			}
@@ -285,6 +288,7 @@ func finalizeFigure6(keys []ConfigKey, jobs []chipJob, samples []*spatialCell) *
 			if s == nil {
 				continue
 			}
+			//rhlint:allow mapiter(one element per chip per offset; per-offset order fixed by group order)
 			for off, f := range s.Fraction {
 				perOffset[off] = append(perOffset[off], f)
 			}
@@ -294,6 +298,7 @@ func finalizeFigure6(keys []ConfigKey, jobs []chipJob, samples []*spatialCell) *
 			continue
 		}
 		row := SpatialRow{Key: keys[ci], Mean: make(map[int]float64), StdDev: make(map[int]float64), Chips: n}
+		//rhlint:allow mapiter(independent per-key writes; JSON encoding sorts the keys)
 		for off, fs := range perOffset {
 			// Chips without flips at this offset contribute zero.
 			for len(fs) < n {

@@ -100,6 +100,7 @@ func (o Options) chipsByConfig(pop *chips.Population) map[ConfigKey][]chips.Chip
 		k := ConfigKey{Node: c.Node, Mfr: c.Mfr}
 		m[k] = append(m[k], c)
 	}
+	//rhlint:allow mapiter(independent per-key in-place rewrite)
 	for k, list := range m {
 		// Stable sort with a chip-ID tie-break: equal-HCFirst chips must
 		// not depend on incidental input order, or capped selection below

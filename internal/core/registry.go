@@ -198,14 +198,28 @@ func DecodeResult(data []byte) (*Result, error) {
 		return nil, fmt.Errorf("core: bad result meta: %w", err)
 	}
 	r.Meta = meta
-	for key, cell := range r.Cells {
-		c, err := compactRaw(cell)
+	// Sorted keys so a document with several bad cells always reports the
+	// same one, whatever map-iteration order the runtime picks.
+	for _, key := range sortedCellKeys(r.Cells) {
+		c, err := compactRaw(r.Cells[key])
 		if err != nil {
 			return nil, fmt.Errorf("core: bad result cell %q: %w", key, err)
 		}
 		r.Cells[key] = c
 	}
 	return &r, nil
+}
+
+// sortedCellKeys returns the cell keys in lexical order. Every loop over
+// a Cells map that can error, write output, or otherwise observe order
+// must iterate this instead of the map (see docs/LINT.md, mapiter).
+func sortedCellKeys(cells map[string]json.RawMessage) []string {
+	keys := make([]string, 0, len(cells))
+	for key := range cells {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // compactRaw strips insignificant whitespace from a raw JSON value.
@@ -254,7 +268,10 @@ func MergeResults(parts ...*Result) (*Result, error) {
 		if !bytes.Equal(p.Meta, merged.Meta) {
 			return nil, fmt.Errorf("core: merge: part %d metadata differs from part 0", i)
 		}
-		for key, cell := range p.Cells {
+		// Sorted keys: with several conflicting cells, the error must name
+		// the same cell on every run and every worker process.
+		for _, key := range sortedCellKeys(p.Cells) {
+			cell := p.Cells[key]
 			if prev, dup := merged.Cells[key]; dup {
 				if !bytes.Equal(prev, cell) {
 					return nil, fmt.Errorf("core: merge: conflicting cell %q", key)

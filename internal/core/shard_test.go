@@ -121,6 +121,64 @@ func TestMergeDecodedPartWithFreshPart(t *testing.T) {
 	}
 }
 
+// TestMergeDeterministicConflictAndBytes pins the mapiter fix in
+// MergeResults and DecodeResult: with several conflicting cells, the
+// error must name the lexically first key on every run (not whichever
+// the map iterator yields), and repeated merges of the same parts must
+// encode byte-identically.
+func TestMergeDeterministicConflictAndBytes(t *testing.T) {
+	spec, err := NewSpec("fig5", 3, CharParams{Scale: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := func(idx, count int, cells map[string]json.RawMessage) *Result {
+		s := spec
+		s.Shard = Shard{Index: idx, Count: count}
+		return &Result{Spec: s, Tasks: 4, Meta: json.RawMessage(`{}`), Cells: cells}
+	}
+	a := shard(0, 2, map[string]json.RawMessage{
+		"cell-a": json.RawMessage(`{"v":1}`),
+		"cell-b": json.RawMessage(`{"v":2}`),
+		"cell-c": json.RawMessage(`{"v":3}`),
+	})
+	conflict := shard(1, 2, map[string]json.RawMessage{
+		"cell-a": json.RawMessage(`{"v":9}`),
+		"cell-b": json.RawMessage(`{"v":9}`),
+		"cell-c": json.RawMessage(`{"v":9}`),
+	})
+	// Many iterations so a map-order regression cannot pass by luck:
+	// with 3 conflicting cells, 30 runs miss at probability (1/3)^29.
+	for i := 0; i < 30; i++ {
+		_, err := MergeResults(a, conflict)
+		if err == nil {
+			t.Fatal("merge of conflicting cells succeeded")
+		}
+		if want := `core: merge: conflicting cell "cell-a"`; err.Error() != want {
+			t.Fatalf("iteration %d: conflict error = %q, want %q", i, err, want)
+		}
+	}
+
+	b := shard(1, 2, map[string]json.RawMessage{
+		"cell-d": json.RawMessage(`{"v":4}`),
+	})
+	var first []byte
+	for i := 0; i < 10; i++ {
+		merged, err := MergeResults(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := merged.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = enc
+		} else if !bytes.Equal(enc, first) {
+			t.Fatalf("iteration %d: merged encoding differs between runs of the same merge", i)
+		}
+	}
+}
+
 // TestShardMergeInvariance covers one characterization grid, the attack
 // grid and the Pareto sweep (plus the two-phase Figure 10), each at two
 // shard counts.

@@ -196,6 +196,8 @@ func (c *Core) Tick() {
 //     group of non-memory instructions. Retire/issue evolve arithmetically
 //     and no memory access can be attempted for (gapLeft-1)/IssueWidth
 //     cycles.
+//
+//rhlint:hotpath
 func (c *Core) BulkWindow() (n int64, gapRun bool) {
 	if c.inFlite == len(c.done) && !c.done[c.slot(c.seqHead)] {
 		return 1 << 62, false
@@ -208,6 +210,8 @@ func (c *Core) BulkWindow() (n int64, gapRun bool) {
 
 // AdvanceIdle advances a blocked core (window full, head incomplete) by n
 // cycles: pure stall time.
+//
+//rhlint:hotpath
 func (c *Core) AdvanceIdle(n int64) {
 	c.Cycles += n
 	c.stalled += n
@@ -220,6 +224,8 @@ func (c *Core) AdvanceIdle(n int64) {
 // state reaches a fixed point (r==a) after at most one transient cycle,
 // so the remainder is a multiplication. The done ring is rebuilt at the
 // end: exactly the surviving in-flight span is complete.
+//
+//rhlint:hotpath
 func (c *Core) AdvanceGap(n int64) {
 	c.Cycles += n
 	iw := int64(c.cfg.IssueWidth)

@@ -11,6 +11,7 @@ package ecc
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Code is a binary Hamming single-error-correcting code over k data bits
@@ -185,8 +186,15 @@ func (c *Code) DecodeFlips(rawFlips []int) (observedDataFlips []int, action Acti
 	default:
 		action = Detected
 	}
-	for pos, flipped := range post {
-		if !flipped {
+	// Walk positions in codeword order, not map order, so the returned
+	// flips are deterministic (callers feed them into published results).
+	positions := make([]int, 0, len(post))
+	for pos := range post {
+		positions = append(positions, pos)
+	}
+	sort.Ints(positions)
+	for _, pos := range positions {
+		if !post[pos] {
 			continue
 		}
 		if di := c.posKind[pos]; di >= 0 {

@@ -200,6 +200,49 @@ func TestDecodeFlipsMatchesDecode(t *testing.T) {
 	}
 }
 
+// TestDecodeFlipsDeterministicOrder pins the mapiter fix: the observed
+// data flips come back sorted ascending (codeword-position order), not
+// in map-iteration order, so identical inputs yield identical bytes in
+// every run and process.
+func TestDecodeFlipsDeterministicOrder(t *testing.T) {
+	rng := stats.NewRNG(11)
+	for trial := 0; trial < 100; trial++ {
+		code := SEC128
+		nFlips := 3 + rng.Intn(4)
+		flipSet := map[int]bool{}
+		for len(flipSet) < nFlips {
+			flipSet[rng.Intn(code.CodewordBits())] = true
+		}
+		var flips []int
+		for f := range flipSet {
+			flips = append(flips, f)
+		}
+		first, _, err := code.DecodeFlips(flips)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(first); i++ {
+			if first[i] <= first[i-1] {
+				t.Fatalf("unsorted observed flips %v", first)
+			}
+		}
+		for rep := 0; rep < 10; rep++ {
+			got, _, err := code.DecodeFlips(flips)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(first) {
+				t.Fatalf("rep %d: %v vs %v", rep, got, first)
+			}
+			for i := range got {
+				if got[i] != first[i] {
+					t.Fatalf("rep %d: order changed: %v vs %v", rep, got, first)
+				}
+			}
+		}
+	}
+}
+
 func TestDecodeFlipsSingleRawFlipHidden(t *testing.T) {
 	// A single raw flip anywhere must be invisible after decode — the
 	// mechanism behind LPDDR4's masked singles (Observation 9).

@@ -143,11 +143,14 @@ const maxTrackedRequesters = 1024
 
 // reqStats returns the per-requester slot for id, growing the slice on
 // first sight; nil for unknown or untracked sources.
+//
+//rhlint:hotpath
 func (s *Stats) reqStats(id int) *RequesterStats {
 	if id < 0 || id >= maxTrackedRequesters {
 		return nil
 	}
 	for len(s.PerRequester) <= id {
+		//rhlint:allow hotalloc(amortized: grows once per newly seen requester, capped at maxTrackedRequesters)
 		s.PerRequester = append(s.PerRequester, RequesterStats{})
 	}
 	return &s.PerRequester[id]
@@ -339,17 +342,22 @@ func (c *Controller) enqueueMitigation(bank, row int) {
 
 // newReq pops a recycled request node or allocates one; the steady-state
 // saturated Tick path recycles every node and allocates nothing.
+//
+//rhlint:hotpath
 func (c *Controller) newReq() *request {
 	if r := c.free; r != nil {
 		c.free = r.qnext
 		r.qnext = nil
 		return r
 	}
+	//rhlint:allow hotalloc(cold path: the free list only misses while the queues first fill)
 	return &request{}
 }
 
 // freeReq clears the node (dropping its callback reference) and chains it
 // on the free list.
+//
+//rhlint:hotpath
 func (c *Controller) freeReq(r *request) {
 	*r = request{qnext: c.free}
 	c.free = r
@@ -358,12 +366,15 @@ func (c *Controller) freeReq(r *request) {
 // EnqueueRead accepts a demand read for the given requester; returns
 // false when the queue is full or the throttling mechanism rejects the
 // request at admission (BlockHammer's RowBlocker-Req).
+//
+//rhlint:hotpath
 func (c *Controller) EnqueueRead(requester int, addr int64, onDone func()) bool {
 	c.nwValid = false
 	// Read-after-write forwarding from the write backlog (which can only
 	// hold the line when it is non-empty, so the usual read-heavy phase
 	// skips the line mapping entirely).
 	if c.writeQ.n > 0 && c.writeBacklogHolds(c.mapper.Map(c.mapper.LineAddress(addr))) {
+		//rhlint:allow hotalloc(amortized: fireReturns compacts in place, so capacity is reused)
 		c.returns = append(c.returns, retEvent{cycle: c.cycle + 1, fn: onDone})
 		c.Stats.Reads++
 		if rs := c.Stats.reqStats(requester); rs != nil {
@@ -452,6 +463,8 @@ func (c *Controller) Cycle() int64 { return c.cycle }
 // The scan is memoized: controller state only changes through Tick,
 // AdvanceIdle, and the enqueue paths, each of which invalidates the
 // cached bound, so the event engine may probe every CPU cycle for free.
+//
+//rhlint:hotpath
 func (c *Controller) NextWork() int64 {
 	if !c.nwValid {
 		c.nwVal = c.nextWorkScan()
@@ -460,6 +473,7 @@ func (c *Controller) NextWork() int64 {
 	return c.nwVal
 }
 
+//rhlint:hotpath
 func (c *Controller) nextWorkScan() int64 {
 	if c.refScan {
 		return c.refNextWorkScan()
@@ -514,6 +528,8 @@ func (c *Controller) nextWorkScan() int64 {
 
 // reqLowerBound returns the earliest cycle at which any command could
 // legally progress the request, from per-bank timing alone.
+//
+//rhlint:hotpath
 func (c *Controller) reqLowerBound(r *request) int64 {
 	open, nextACT, nextPRE, nextRD, nextWR := c.ch.BankTimes(0, r.addr.Bank)
 	switch {
@@ -533,6 +549,8 @@ func (c *Controller) reqLowerBound(r *request) int64 {
 // time-triggered state the skipped no-op Ticks would have touched: the
 // BLISS clearing schedule. Legal only when every skipped cycle is below
 // NextWork().
+//
+//rhlint:hotpath
 func (c *Controller) AdvanceIdle(k int64) {
 	c.nwValid = false
 	c.cycle += k
@@ -547,6 +565,8 @@ func (c *Controller) AdvanceIdle(k int64) {
 }
 
 // Tick advances one memory-clock cycle and issues at most one command.
+//
+//rhlint:hotpath
 func (c *Controller) Tick() {
 	c.nwValid = false
 	c.cycle++
@@ -610,6 +630,8 @@ func (c *Controller) Tick() {
 // issueRowChange issues an ACT or PRE — the commands that change a bank's
 // open row — and rebuilds both queues' hit chains for the bank, keeping
 // the first-ready candidate sets exact.
+//
+//rhlint:hotpath
 func (c *Controller) issueRowChange(cmd dram.Command, bank, row int) {
 	c.ch.Issue(cmd, 0, bank, row, c.cycle)
 	open := -1
@@ -622,6 +644,8 @@ func (c *Controller) issueRowChange(cmd dram.Command, bank, row int) {
 
 // closeIdleRows implements the closed-row policy: precharge any bank
 // whose open row no queued request targets.
+//
+//rhlint:hotpath
 func (c *Controller) closeIdleRows() {
 	if c.refScan {
 		c.refCloseIdleRows()
@@ -643,6 +667,7 @@ func (c *Controller) closeIdleRows() {
 	}
 }
 
+//rhlint:hotpath
 func (c *Controller) fireReturns() {
 	n := 0
 	for _, ev := range c.returns {
@@ -822,6 +847,8 @@ func (c *Controller) blissClearAll() {
 // considered only when no favored request can use the cycle — BLISS
 // demotes, it never blocks, so liveness is untouched.
 // Returns true if a command issued.
+//
+//rhlint:hotpath
 func (c *Controller) schedule(q *reqQueue, write bool) bool {
 	if c.cfg.BLISS && !write && c.blissCount > 0 {
 		if c.scheduleClass(q, write, classFilter{kind: classFavored}) {
@@ -846,6 +873,8 @@ func (c *Controller) schedule(q *reqQueue, write bool) bool {
 // walk is shared by both scan modes: it consults the throttler per
 // skipped request, and that query sequence is part of the pinned
 // behavior.
+//
+//rhlint:hotpath
 func (c *Controller) starvingFavoredBank(q *reqQueue) int {
 	for r := q.head; r != nil; r = r.qnext {
 		if c.blissIsBlack(r.req) {
@@ -868,6 +897,8 @@ func (c *Controller) starvingFavoredBank(q *reqQueue) int {
 // preempts row hits to its bank. A throttle-blacklisted request is
 // waiting on the mechanism, not on the scheduler, so it neither counts
 // as starving nor preempts anyone. Returns true if a command issued.
+//
+//rhlint:hotpath
 func (c *Controller) scheduleClass(q *reqQueue, write bool, f classFilter) bool {
 	if q.n == 0 {
 		return false
@@ -938,6 +969,8 @@ func (c *Controller) scheduleClass(q *reqQueue, write bool, f classFilter) bool 
 // throttledIdle reports whether a request is blocked by the throttling
 // mechanism: its row is not open (it would need an ACT) and the mechanism
 // denies that ACT.
+//
+//rhlint:hotpath
 func (c *Controller) throttledIdle(req *request) bool {
 	if c.throttle == nil || c.ch.OpenRow(0, req.addr.Bank) == req.addr.Row {
 		return false
@@ -948,6 +981,8 @@ func (c *Controller) throttledIdle(req *request) bool {
 // progressReq moves the oldest schedulable request — as determined by
 // scheduleClass's throttle scan — forward: serve it when its row is open,
 // otherwise open (or close) the row it needs.
+//
+//rhlint:hotpath
 func (c *Controller) progressReq(q *reqQueue, req *request, write bool) bool {
 	bank := req.addr.Bank
 	open := c.ch.OpenRow(0, bank)
@@ -981,6 +1016,8 @@ func (c *Controller) progressReq(q *reqQueue, req *request, write bool) bool {
 // fails this cycle, so the bank is dropped wholesale and the next-oldest
 // bank candidate is tried, exactly reproducing the reference walk's
 // outcome.
+//
+//rhlint:hotpath
 func (c *Controller) scheduleRowHits(q *reqQueue, write bool, excludeBank int, f classFilter) bool {
 	if c.refScan {
 		return c.refScheduleRowHits(q, write, excludeBank, f)
@@ -1018,6 +1055,8 @@ func (c *Controller) scheduleRowHits(q *reqQueue, write bool, excludeBank int, f
 
 // serveReq issues the column command for r (whose row must be open) and
 // removes it from the queue. Returns false when timing blocks it.
+//
+//rhlint:hotpath
 func (c *Controller) serveReq(q *reqQueue, r *request, write bool) bool {
 	cmd := dram.CmdRD
 	if r.write {
@@ -1028,6 +1067,7 @@ func (c *Controller) serveReq(q *reqQueue, r *request, write bool) bool {
 	}
 	ready := c.ch.Issue(cmd, 0, r.addr.Bank, r.addr.Row, c.cycle)
 	if !r.write && r.onDone != nil {
+		//rhlint:allow hotalloc(amortized: fireReturns compacts in place, so capacity is reused)
 		c.returns = append(c.returns, retEvent{cycle: ready, fn: r.onDone})
 	}
 	// Data-bus occupancy: every served column command burns BL clocks of

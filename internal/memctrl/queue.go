@@ -58,6 +58,8 @@ func (q *reqQueue) init(banks int) {
 
 // push appends r (arrival order) and indexes it under its bank; openRow
 // is the bank's currently open row so the hit chain stays complete.
+//
+//rhlint:hotpath
 func (q *reqQueue) push(r *request, openRow int) {
 	r.seq = q.seq
 	q.seq++
@@ -85,6 +87,8 @@ func (q *reqQueue) push(r *request, openRow int) {
 }
 
 // remove unlinks r from the queue, its bank bucket, and the hit chain.
+//
+//rhlint:hotpath
 func (q *reqQueue) remove(r *request) {
 	if r.qprev != nil {
 		r.qprev.qnext = r.qnext
@@ -124,6 +128,8 @@ func (q *reqQueue) remove(r *request) {
 // bankRowChanged rebuilds the bank's hit chain after an ACT or PRE
 // changed its open row (-1 when precharged). Row transitions are
 // tRC-paced, so the O(bank depth) walk is off the per-cycle path.
+//
+//rhlint:hotpath
 func (q *reqQueue) bankRowChanged(bank, openRow int) {
 	b := &q.banks[bank]
 	for r := b.hitHead; r != nil; {
@@ -148,6 +154,7 @@ func (q *reqQueue) bankRowChanged(bank, openRow int) {
 	}
 }
 
+//rhlint:hotpath
 func (b *bankBucket) hitAppend(r *request) {
 	if b.hitTail == nil {
 		b.hitHead, b.hitTail = r, r
@@ -160,6 +167,7 @@ func (b *bankBucket) hitAppend(r *request) {
 	b.hitN++
 }
 
+//rhlint:hotpath
 func (b *bankBucket) hitRemove(r *request) {
 	if r.hprev != nil {
 		r.hprev.hnext = r.hnext

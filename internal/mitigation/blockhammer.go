@@ -234,6 +234,7 @@ func (m *BlockHammer) rotate(cycle int64) {
 		m.filters[0].clear()
 		m.release = make(map[int64]int64)
 		m.reqRelease = make(map[int]int64)
+		//rhlint:allow mapiter(independent per-key halve-or-delete; order-free)
 		for k, v := range m.rhliACTs {
 			if v >= 1 {
 				m.rhliACTs[k] = v / 2

@@ -78,6 +78,7 @@ func (m *TWiCe) OnActivate(bank, row int, cycle int64, fromMitigation bool) []in
 // the real design) and drops entries for rows the rotation refreshed.
 func (m *TWiCe) OnAutoRefresh(bank, rowStart, rowCount int, cycle int64) []int {
 	tbl := m.tables[bank]
+	//rhlint:allow mapiter(independent per-key prune-or-age; order-free)
 	for row, e := range tbl {
 		if row >= rowStart && row < rowStart+rowCount {
 			delete(tbl, row)

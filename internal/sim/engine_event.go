@@ -30,6 +30,8 @@ const minBulk = 8
 // checking the retirement condition once, at the end of the jump,
 // equivalent to the reference loop's per-cycle check — the condition
 // cannot have held strictly inside the window.
+//
+//rhlint:hotpath
 func (s *system) retireNeed(tgt, iw int64) int64 {
 	var need int64
 	for _, c := range s.cores {
@@ -45,9 +47,12 @@ func (s *system) retireNeed(tgt, iw int64) int64 {
 
 // runEvent drives the system to the same final state as runCycle,
 // skipping provably-trivial cycles.
+//
+//rhlint:hotpath
 func (s *system) runEvent() {
 	target := s.cfg.WarmupInsts
 	iw := int64(s.cfg.Core.IssueWidth)
+	//rhlint:allow hotalloc(one buffer per run, allocated before the loop)
 	gapRun := make([]bool, len(s.cores))
 
 	// Probe backoff: skipping a probe is always safe (the exact path IS

@@ -13,7 +13,7 @@
 # engines alternate per iteration so slow host periods skew both columns
 # equally instead of whichever engine happened to run second.
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 BENCHTIME="${BENCHTIME:-3x}"
 COUNT="${COUNT:-5}"
@@ -25,9 +25,11 @@ run() {
 
 event_raw=""
 cycle_raw=""
-for _ in $(seq "$COUNT"); do
+i=0
+while [ "$i" -lt "$COUNT" ]; do
 	event_raw+="$(run event)"$'\n'
 	cycle_raw+="$(run cycle)"$'\n'
+	i=$((i + 1))
 done
 
 {
