@@ -41,6 +41,22 @@ type Analyzer struct {
 	Doc string
 	// Run reports findings on one package through pass.Reportf.
 	Run func(*Pass) error
+	// FactTypes lists the fact types the analyzer exports and imports
+	// (see facts.go). An analyzer with facts is run over dependency
+	// packages too — fact-only, diagnostics discarded — so its facts
+	// exist by the time a dependent package needs them.
+	FactTypes []Fact
+}
+
+// usesFacts reports whether any analyzer in the set declares facts, in
+// which case the driver must walk dependencies fact-first.
+func usesFacts(analyzers []*Analyzer) bool {
+	for _, a := range analyzers {
+		if len(a.FactTypes) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Analyzers returns the full suite in catalog order.
@@ -55,15 +71,34 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts is the cross-package fact store the driver threads through
+	// the build graph; nil in fact-free runs (see facts.go).
+	Facts *FactStore
 
+	dirs   *directives
 	report func(Diagnostic)
 }
 
-// A Diagnostic is one finding.
+// SuppressedAt reports whether an //rhlint:allow directive for this
+// pass's analyzer covers pos. The fact analyzers consult it so a
+// reasoned allow at a leaf site (an amortized append, the RH_ENGINE
+// read) stops the fact from propagating and poisoning every caller.
+func (p *Pass) SuppressedAt(pos token.Pos) bool {
+	if p.dirs == nil {
+		return false
+	}
+	_, ok := p.dirs.reasonFor(Diagnostic{Analyzer: p.Analyzer.Name, Pos: p.Fset.Position(pos)})
+	return ok
+}
+
+// A Diagnostic is one finding. Suppressed is the //rhlint:allow reason
+// when a directive covers the finding; drivers print only unsuppressed
+// diagnostics but -json exposes both.
 type Diagnostic struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+	Analyzer   string
+	Pos        token.Position
+	Message    string
+	Suppressed string
 }
 
 func (d Diagnostic) String() string {
@@ -123,18 +158,18 @@ var allowRe = regexp.MustCompile(`^//rhlint:allow ([a-z]+)\(([^)]+)\)`)
 // directives is the per-file suppression index of one package.
 type directives struct {
 	fset *token.FileSet
-	// allow maps filename -> line -> analyzer names suppressed on that
-	// line. A directive suppresses its own line and the line below it,
-	// so it works both as a trailing comment and on its own line above
-	// the finding.
-	allow map[string]map[int]map[string]bool
+	// allow maps filename -> line -> analyzer name -> reason for
+	// suppressions on that line. A directive suppresses its own line
+	// and the line below it, so it works both as a trailing comment and
+	// on its own line above the finding.
+	allow map[string]map[int]map[string]string
 	// malformed collects unparseable //rhlint: comments as driver
 	// diagnostics (analyzer "rhlint"); they are not suppressible.
 	malformed []Diagnostic
 }
 
 func scanDirectives(fset *token.FileSet, files []*ast.File) *directives {
-	d := &directives{fset: fset, allow: map[string]map[int]map[string]bool{}}
+	d := &directives{fset: fset, allow: map[string]map[int]map[string]string{}}
 	names := map[string]bool{}
 	for _, a := range Analyzers() {
 		names[a.Name] = true
@@ -172,14 +207,14 @@ func scanDirectives(fset *token.FileSet, files []*ast.File) *directives {
 				pos := fset.Position(c.Pos())
 				byLine := d.allow[pos.Filename]
 				if byLine == nil {
-					byLine = map[int]map[string]bool{}
+					byLine = map[int]map[string]string{}
 					d.allow[pos.Filename] = byLine
 				}
 				for _, line := range []int{pos.Line, pos.Line + 1} {
 					if byLine[line] == nil {
-						byLine[line] = map[string]bool{}
+						byLine[line] = map[string]string{}
 					}
-					byLine[line][m[1]] = true
+					byLine[line][m[1]] = strings.TrimSpace(m[2])
 				}
 			}
 		}
@@ -187,14 +222,16 @@ func scanDirectives(fset *token.FileSet, files []*ast.File) *directives {
 	return d
 }
 
-// suppressed reports whether the finding is covered by an allow
-// directive on its line (or the line above, which indexed both lines).
-func (d *directives) suppressed(diag Diagnostic) bool {
+// reasonFor returns the allow reason covering the finding — a directive
+// on its line or the line above, which indexed both lines — and whether
+// one exists.
+func (d *directives) reasonFor(diag Diagnostic) (string, bool) {
 	byLine := d.allow[diag.Pos.Filename]
 	if byLine == nil {
-		return false
+		return "", false
 	}
-	return byLine[diag.Pos.Line][diag.Analyzer]
+	reason, ok := byLine[diag.Pos.Line][diag.Analyzer]
+	return reason, ok
 }
 
 // isHotpath reports whether the function declaration opts into hotalloc.
@@ -212,19 +249,28 @@ func isHotpath(fd *ast.FuncDecl) bool {
 
 // --- driver -----------------------------------------------------------------
 
-// A Package is one loaded, type-checked compilation unit.
+// A Package is one loaded, type-checked compilation unit. FactsOnly
+// marks a dependency loaded solely so its facts exist before its
+// dependents are analyzed; drivers discard its diagnostics — the
+// standalone equivalent of the vet protocol's VetxOnly units.
 type Package struct {
-	Path  string
-	Fset  *token.FileSet
-	Files []*ast.File
-	Types *types.Package
-	Info  *types.Info
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	Info      *types.Info
+	FactsOnly bool
 }
 
 // RunPackage runs the analyzers over the package, applies the allow
-// directives, and returns the surviving diagnostics sorted by position.
-// Malformed directives are reported once per package.
-func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// directives, and returns every diagnostic sorted by position —
+// suppressed findings included, carrying their allow reason, so -json
+// can expose them; callers that print filter with ActiveOnly.
+// Malformed directives are reported once per package. facts may be nil
+// for a fact-free run; with a store, facts of dependency packages must
+// already be present (the drivers walk the build graph in dependency
+// order) and this package's facts are added to the store.
+func RunPackage(pkg *Package, analyzers []*Analyzer, facts *FactStore) ([]Diagnostic, error) {
 	dirs := scanDirectives(pkg.Fset, pkg.Files)
 	diags := append([]Diagnostic(nil), dirs.malformed...)
 	for _, a := range analyzers {
@@ -234,11 +280,14 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Facts:     facts,
+			dirs:      dirs,
 		}
 		pass.report = func(d Diagnostic) {
-			if !dirs.suppressed(d) {
-				diags = append(diags, d)
+			if reason, ok := dirs.reasonFor(d); ok {
+				d.Suppressed = reason
 			}
+			diags = append(diags, d)
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
@@ -258,6 +307,17 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return diags[i].Message < diags[j].Message
 	})
 	return diags, nil
+}
+
+// ActiveOnly filters out the diagnostics an //rhlint:allow covers.
+func ActiveOnly(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Suppressed == "" {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // newInfo returns a types.Info with every map the analyzers consult.

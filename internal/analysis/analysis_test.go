@@ -80,12 +80,18 @@ func testAnalyzer(t *testing.T, a *Analyzer, dir, pkgpath string) {
 	if err != nil {
 		t.Fatalf("typecheck %s: %v", dir, err)
 	}
-	diags, err := RunPackage(pkg, []*Analyzer{a})
+	diags, err := RunPackage(pkg, []*Analyzer{a}, NewFactStore())
 	if err != nil {
 		t.Fatal(err)
 	}
+	compareWants(t, parseWants(t, files), ActiveOnly(diags))
+}
 
-	wants := parseWants(t, files)
+// compareWants diffs actual diagnostics against want expectations keyed
+// by "filename:line"; every diagnostic must match one expectation and
+// every expectation must be consumed.
+func compareWants(t *testing.T, wants map[string][]*regexp.Regexp, diags []Diagnostic) {
+	t.Helper()
 	for _, d := range diags {
 		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
 		matched := false

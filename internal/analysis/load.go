@@ -32,6 +32,7 @@ type listPkg struct {
 	Dir        string
 	GoFiles    []string
 	CgoFiles   []string
+	Imports    []string
 	ImportMap  map[string]string
 	Export     string
 	DepOnly    bool
@@ -50,7 +51,7 @@ type listPkg struct {
 func goList(dir string, patterns []string) ([]*listPkg, error) {
 	args := []string{
 		"list", "-deps", "-export",
-		"-json=ImportPath,Dir,GoFiles,CgoFiles,ImportMap,Export,DepOnly,Standard,Module,Error",
+		"-json=ImportPath,Dir,GoFiles,CgoFiles,Imports,ImportMap,Export,DepOnly,Standard,Module,Error",
 		"--",
 	}
 	args = append(args, patterns...)
@@ -77,15 +78,18 @@ func goList(dir string, patterns []string) ([]*listPkg, error) {
 }
 
 // loader type-checks packages against the export data of their
-// dependencies.
+// dependencies, or against packages it already checked from source —
+// which is how the multi-package fact fixtures (fake import paths, no
+// export data) resolve their intra-fixture imports.
 type loader struct {
 	fset    *token.FileSet
-	exports map[string]string // package path -> export data file
+	exports map[string]string         // package path -> export data file
+	typed   map[string]*types.Package // package path -> source-checked package
 	gc      types.Importer
 }
 
 func newLoader(fset *token.FileSet) *loader {
-	l := &loader{fset: fset, exports: map[string]string{}}
+	l := &loader{fset: fset, exports: map[string]string{}, typed: map[string]*types.Package{}}
 	l.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		file, ok := l.exports[path]
 		if !ok || file == "" {
@@ -104,16 +108,20 @@ func (l *loader) addExports(pkgs []*listPkg) {
 	}
 }
 
-// mapImporter applies one package's vendor/import map before delegating
-// to the shared gc importer.
+// mapImporter applies one package's vendor/import map, prefers
+// source-checked packages, then delegates to the gc importer.
 type mapImporter struct {
-	m  map[string]string
-	gc types.Importer
+	m     map[string]string
+	typed map[string]*types.Package
+	gc    types.Importer
 }
 
 func (mi mapImporter) Import(path string) (*types.Package, error) {
 	if real, ok := mi.m[path]; ok {
 		path = real
+	}
+	if pkg, ok := mi.typed[path]; ok {
+		return pkg, nil
 	}
 	return mi.gc.Import(path)
 }
@@ -131,7 +139,7 @@ func (l *loader) typecheck(path string, files []string, importMap map[string]str
 	}
 	info := newInfo()
 	conf := &types.Config{
-		Importer:  mapImporter{m: importMap, gc: l.gc},
+		Importer:  mapImporter{m: importMap, typed: l.typed, gc: l.gc},
 		Sizes:     types.SizesFor("gc", runtime.GOARCH),
 		GoVersion: goVersion,
 	}
@@ -139,11 +147,19 @@ func (l *loader) typecheck(path string, files []string, importMap map[string]str
 	if err != nil {
 		return nil, err
 	}
+	l.typed[path] = tpkg
 	return &Package{Path: path, Fset: l.fset, Files: asts, Types: tpkg, Info: info}, nil
 }
 
-// Load lists the patterns in dir, type-checks every matched (non-dep)
-// package, and returns them sorted by import path.
+// Load lists the patterns in dir and type-checks every matched package
+// — plus, so cross-package facts exist no matter which subset of the
+// module the patterns name, every non-standard dependency. Packages
+// come back in dependency (topological) order, dependencies first;
+// dependency-only packages are marked FactsOnly, and drivers run the
+// analyzers over them for their facts while discarding their
+// diagnostics. The standard library is never analyzed: both drivers
+// must see the same fact universe, and the vet driver cannot cheaply
+// walk std sources, so std knowledge lives in curated analyzer tables.
 func Load(dir string, patterns []string) ([]*Package, error) {
 	pkgs, err := goList(dir, patterns)
 	if err != nil {
@@ -153,20 +169,52 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 	l := newLoader(fset)
 	l.addExports(pkgs)
 
-	var targets []*listPkg
+	selected := map[string]*listPkg{}
 	for _, p := range pkgs {
-		if p.DepOnly || p.Standard {
+		if p.Standard {
 			continue
 		}
 		if p.Error != nil {
 			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
 		}
-		targets = append(targets, p)
+		selected[p.ImportPath] = p
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	// Topological order (dependencies first) over the selected set, with
+	// deterministic tie-breaking by import path.
+	var order []*listPkg
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *listPkg)
+	visit = func(p *listPkg) {
+		if state[p.ImportPath] != 0 {
+			return
+		}
+		state[p.ImportPath] = 1
+		deps := append([]string(nil), p.Imports...)
+		sort.Strings(deps)
+		for _, imp := range deps {
+			if real, ok := p.ImportMap[imp]; ok {
+				imp = real
+			}
+			if dep, ok := selected[imp]; ok {
+				visit(dep)
+			}
+		}
+		state[p.ImportPath] = 2
+		order = append(order, p)
+	}
+	roots := make([]string, 0, len(selected))
+	//rhlint:allow mapiter(roots are sorted before use)
+	for path := range selected {
+		roots = append(roots, path)
+	}
+	sort.Strings(roots)
+	for _, path := range roots {
+		visit(selected[path])
+	}
 
 	var out []*Package
-	for _, p := range targets {
+	for _, p := range order {
 		var files []string
 		for _, lists := range [][]string{p.GoFiles, p.CgoFiles} {
 			for _, f := range lists {
@@ -184,6 +232,7 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
 		}
+		pkg.FactsOnly = p.DepOnly
 		out = append(out, pkg)
 	}
 	return out, nil

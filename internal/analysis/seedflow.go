@@ -23,6 +23,15 @@ import (
 //   - sharing: a go statement must not receive a PRNG-typed argument,
 //     run a method on a PRNG receiver, or capture a PRNG-typed variable
 //     declared outside its function literal.
+//
+// Constructor wrappers are resolved interprocedurally: a function whose
+// every returned generator is provably derived (a seeded constructor, a
+// Fork, or a call to another such function) carries a
+// ReturnsDerivedPRNG fact, and calls to it count as fresh, derived
+// generators anywhere in the build. A PRNG-returning function *without*
+// the fact — a shared-global accessor, say — no longer gets the benefit
+// of the doubt it used to: passing its result into a goroutine is
+// flagged.
 var SeedFlow = &Analyzer{
 	Name: "seedflow",
 	Doc: `flags PRNGs built from non-seed values or shared across goroutines
@@ -31,11 +40,16 @@ PRNG constructors (rand.NewSource, rand.New, rand.NewPCG, stats.NewRNG)
 must be fed a derived task seed: an expression mentioning a seed
 variable, engine.DeriveSeed(...), or a draw from an existing generator
 (the Fork pattern). A go statement must not carry PRNG state across the
-goroutine boundary — fork a child generator per goroutine instead.`,
-	Run: runSeedFlow,
+goroutine boundary — fork a child generator per goroutine instead.
+Functions that return derived generators carry a ReturnsDerivedPRNG
+fact (computed across packages), so wrapper constructors are recognized
+and shared-global accessors are not.`,
+	Run:       runSeedFlow,
+	FactTypes: []Fact{(*ReturnsDerivedPRNG)(nil)},
 }
 
 func runSeedFlow(pass *Pass) error {
+	computeDerivedPRNGFacts(pass)
 	if !simVisiblePkg(pass.Pkg.Path()) {
 		return nil
 	}
@@ -56,7 +70,115 @@ func runSeedFlow(pass *Pass) error {
 	return nil
 }
 
-// seededCtors maps constructor name -> index of the seed argument, for
+// computeDerivedPRNGFacts attaches ReturnsDerivedPRNG to every function
+// whose returned PRNGs are all provably derived. The proof is
+// shape-based on return expressions: a function that stashes its
+// generator in a local or a field first simply gets no fact (callers
+// then treat its results as shared — conservative in the flagging
+// direction).
+func computeDerivedPRNGFacts(pass *Pass) {
+	funcs := packageFuncs(pass)
+	propagate(funcs, func(fn funcInfo) bool {
+		var have ReturnsDerivedPRNG
+		if pass.ImportObjectFact(fn.obj, &have) {
+			return false
+		}
+		if !returnsDerivedPRNG(pass, fn) {
+			return false
+		}
+		pass.ExportObjectFact(fn.obj, &ReturnsDerivedPRNG{})
+		return true
+	})
+}
+
+// returnsDerivedPRNG reports whether fn's signature returns at least
+// one PRNG-typed result and every return statement supplies derived
+// expressions for all PRNG-typed results.
+func returnsDerivedPRNG(pass *Pass, fn funcInfo) bool {
+	sig, ok := fn.obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	hasPRNGResult := false
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isPRNGType(sig.Results().At(i).Type()) {
+			hasPRNGResult = true
+		}
+	}
+	if !hasPRNGResult {
+		return false
+	}
+	sawReturn := false
+	allDerived := true
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		if !allDerived {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // nested literals return for themselves
+		case *ast.ReturnStmt:
+			if len(n.Results) == 0 {
+				allDerived = false // naked return: generator came from a local
+				return false
+			}
+			sawReturn = true
+			for _, res := range n.Results {
+				tv, ok := pass.TypesInfo.Types[res]
+				if !ok || !isPRNGType(tv.Type) {
+					continue
+				}
+				if !isDerivedPRNGExpr(pass, res) {
+					allDerived = false
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return sawReturn && allDerived
+}
+
+// isDerivedPRNGExpr reports whether the expression produces a fresh,
+// derived generator: a seeded constructor, a method drawn off an
+// existing generator (Fork), or a call to a function carrying the
+// ReturnsDerivedPRNG fact.
+func isDerivedPRNGExpr(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	info := pass.TypesInfo
+	// Method on a PRNG-typed receiver: rng.Fork() and friends.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if tv, ok := info.Types[sel.X]; ok && isPRNGType(tv.Type) {
+			return true
+		}
+	}
+	obj := calleeFunc(info, call)
+	// Known constructor with a seed-traced argument.
+	if i, ok := seedArgIndex(obj); ok {
+		return len(call.Args) > i && isSeedDerived(pass, call.Args[i])
+	}
+	// rand.New(src): derived iff its source argument is.
+	if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil {
+		path := fn.Pkg().Path()
+		if (path == "math/rand" || path == "math/rand/v2") && fn.Name() == "New" {
+			return len(call.Args) > 0 &&
+				(isDerivedPRNGExpr(pass, call.Args[0]) || isSeedDerived(pass, call.Args[0]))
+		}
+	}
+	// A wrapper already proven to return derived generators.
+	if fn, ok := obj.(*types.Func); ok {
+		var fact ReturnsDerivedPRNG
+		if pass.ImportObjectFact(fn, &fact) {
+			return true
+		}
+	}
+	return false
+}
+
+// seedArgIndex maps constructor name -> index of the seed argument, for
 // math/rand, math/rand/v2, and the repo's stats.NewRNG.
 func seedArgIndex(obj types.Object) (int, bool) {
 	if obj == nil || obj.Pkg() == nil {
@@ -81,7 +203,7 @@ func checkSeedConstruction(pass *Pass, call *ast.CallExpr) {
 		return
 	}
 	arg := call.Args[i]
-	if isSeedDerived(pass.TypesInfo, arg) {
+	if isSeedDerived(pass, arg) {
 		return
 	}
 	pass.Reportf(call.Pos(), "%s seeded from %s, which does not trace to a derived task seed (use engine.DeriveSeed, a seed-named variable, or Fork an existing generator)",
@@ -91,9 +213,11 @@ func checkSeedConstruction(pass *Pass, call *ast.CallExpr) {
 // isSeedDerived reports whether the expression plausibly carries a
 // derived seed: it mentions an identifier or selector whose name
 // contains "seed" (case-insensitive), calls a function whose name
-// contains "seed" or is DeriveSeed, or draws from an existing PRNG
-// (a method call on a PRNG-typed receiver — the Fork pattern).
-func isSeedDerived(info *types.Info, e ast.Expr) bool {
+// contains "seed" or is DeriveSeed, or draws from an existing PRNG —
+// a method call on a PRNG-typed receiver (the Fork pattern) or on the
+// result of a function with the ReturnsDerivedPRNG fact.
+func isSeedDerived(pass *Pass, e ast.Expr) bool {
+	info := pass.TypesInfo
 	derived := false
 	ast.Inspect(e, func(n ast.Node) bool {
 		if derived {
@@ -160,9 +284,9 @@ func checkGoroutineSharing(pass *Pass, g *ast.GoStmt) {
 	// go f(rng) — PRNG passed as an argument.
 	for _, arg := range call.Args {
 		if tv, ok := info.Types[arg]; ok && isPRNGType(tv.Type) {
-			// A fresh fork created in the argument list is the sanctioned
-			// pattern: go f(rng.Fork()).
-			if isFreshFork(info, arg) {
+			// A fresh, derived generator created in the argument list is
+			// the sanctioned pattern: go f(rng.Fork()).
+			if isFreshFork(pass, arg) {
 				continue
 			}
 			pass.Reportf(arg.Pos(), "PRNG %s passed across goroutine boundary: draw order becomes scheduler-dependent (pass rng.Fork() or a derived seed instead)", types.ExprString(arg))
@@ -192,13 +316,55 @@ func checkGoroutineSharing(pass *Pass, g *ast.GoStmt) {
 }
 
 // isFreshFork reports whether the expression is a call that produces a
-// new generator (rng.Fork(), stats.NewRNG(...), rand.New(...)): the
-// value never existed before the go statement, so nothing is shared.
-func isFreshFork(info *types.Info, e ast.Expr) bool {
+// generator the goroutine may own outright: a known constructor (seed
+// provenance is checkSeedConstruction's job), a Fork drawn off an
+// existing generator, or a wrapper carrying the ReturnsDerivedPRNG
+// fact. A call that merely has a PRNG result type — a shared-global
+// accessor, a sync.Pool fetch — does not qualify: that is precisely
+// the wrapper blind spot the fact closes.
+func isFreshFork(pass *Pass, e ast.Expr) bool {
 	call, ok := ast.Unparen(e).(*ast.CallExpr)
 	if !ok {
 		return false
 	}
-	tv, ok := info.Types[call]
-	return ok && isPRNGType(tv.Type)
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || !isPRNGType(tv.Type) {
+		return false
+	}
+	return freshPRNGCall(pass, call)
+}
+
+// freshPRNGCall is isDerivedPRNGExpr minus the seed-provenance
+// requirement on constructor arguments: constructors always mint a new
+// generator (nothing is shared even if the seed is bad), so for the
+// goroutine-sharing check they count as fresh unconditionally.
+func freshPRNGCall(pass *Pass, call *ast.CallExpr) bool {
+	info := pass.TypesInfo
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if tv, ok := info.Types[sel.X]; ok && isPRNGType(tv.Type) {
+			return true // rng.Fork() and friends
+		}
+	}
+	obj := calleeFunc(info, call)
+	if _, ok := seedArgIndex(obj); ok {
+		return true
+	}
+	if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil {
+		path := fn.Pkg().Path()
+		if (path == "math/rand" || path == "math/rand/v2") && fn.Name() == "New" {
+			// rand.New wraps its source: fresh iff the source is.
+			if len(call.Args) == 0 {
+				return true // rand/v2 has no such form; be permissive
+			}
+			if inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr); ok {
+				return freshPRNGCall(pass, inner)
+			}
+			return false // rand.New(sharedSource): the source crosses the boundary
+		}
+		var fact ReturnsDerivedPRNG
+		if pass.ImportObjectFact(fn, &fact) {
+			return true
+		}
+	}
+	return false
 }

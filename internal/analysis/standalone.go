@@ -1,44 +1,98 @@
 package analysis
 
-// The standalone driver: `rhlint [packages]` loads the patterns
-// (default ./...), runs the suite, and prints findings. It is the
-// byte-equivalent of the `go vet -vettool` invocation (unit.go) for
-// non-test files; CI may use either.
+// The standalone driver: `rhlint [-json] [packages]` loads the patterns
+// (default ./...), walks the build graph dependencies-first so
+// cross-package facts are available, runs the suite, and prints
+// findings. It is the diagnostic-equivalent of the `go vet -vettool`
+// invocation (unit.go) for non-test files; CI may use either.
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 )
 
+// jsonDiagnostic is the -json wire form of one finding. Suppressed
+// carries the //rhlint:allow reason when a directive covers the
+// finding; such findings do not affect the exit code but are exposed
+// so tooling can audit the suppression inventory.
+type jsonDiagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed string `json:"suppressed,omitempty"`
+}
+
 // Standalone runs the suite over the patterns and returns the process
-// exit code: 0 clean, 1 findings, 2 operational error.
+// exit code: 0 clean, 1 findings, 2 operational error. With -json the
+// full diagnostic set (suppressed included) is printed as a JSON array
+// on stdout and a one-line summary on stderr.
 func Standalone(dir string, args []string, stdout, stderr io.Writer) int {
-	patterns := args
+	jsonOut := false
+	var patterns []string
+	for _, a := range args {
+		switch a {
+		case "-json", "--json":
+			jsonOut = true
+		case "help", "-h", "--help", "-help":
+			printHelp(stdout)
+			return 0
+		default:
+			patterns = append(patterns, a)
+		}
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
-	}
-	if len(patterns) == 1 && (patterns[0] == "help" || patterns[0] == "-h" || patterns[0] == "--help") {
-		printHelp(stdout)
-		return 0
 	}
 	pkgs, err := Load(dir, patterns)
 	if err != nil {
 		fmt.Fprintf(stderr, "rhlint: %v\n", err)
 		return 2
 	}
-	found := 0
+	facts := NewFactStore()
+	var all []Diagnostic
+	analyzed := 0
 	for _, pkg := range pkgs {
-		diags, err := RunPackage(pkg, Analyzers())
+		diags, err := RunPackage(pkg, Analyzers(), facts)
 		if err != nil {
 			fmt.Fprintf(stderr, "rhlint: %v\n", err)
 			return 2
 		}
-		for _, d := range diags {
+		if pkg.FactsOnly {
+			continue // dependency walked for facts alone
+		}
+		analyzed++
+		all = append(all, diags...)
+	}
+	active := ActiveOnly(all)
+	if jsonOut {
+		out := make([]jsonDiagnostic, 0, len(all))
+		for _, d := range all {
+			out = append(out, jsonDiagnostic{
+				File:       d.Pos.Filename,
+				Line:       d.Pos.Line,
+				Column:     d.Pos.Column,
+				Analyzer:   d.Analyzer,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "rhlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "rhlint: %d finding(s), %d suppressed, %d package(s), %d fact(s)\n",
+			len(active), len(all)-len(active), analyzed, facts.Len())
+	} else {
+		for _, d := range active {
 			fmt.Fprintln(stdout, d.String())
-			found++
 		}
 	}
-	if found > 0 {
+	if len(active) > 0 {
 		return 1
 	}
 	return 0
@@ -49,13 +103,26 @@ func printHelp(w io.Writer) {
 allocation discipline. See docs/LINT.md.
 
 Usage:
-  rhlint [packages]                 standalone (default ./...)
+  rhlint [-json] [packages]         standalone (default ./...)
   go vet -vettool=$(which rhlint) ./...   as a vet tool (includes test
                                     packages; _test.go files are exempt)
+
+-json prints machine-readable diagnostics (file/line/column/analyzer/
+message, plus suppressed findings with their allow reason) and a
+summary line on stderr.
+
+Both drivers are interprocedural: per-function facts (Allocates,
+Impure, ReturnsDerivedPRNG) are computed for every module package and
+flow through the build graph, so a hotpath function calling an
+un-annotated helper that allocates — or a sim package reaching
+time.Now through two layers of calls — is flagged at the boundary with
+the offending path named.
 
 Suppress a finding with an annotation carrying a reason, on the line or
 the line above:
   //rhlint:allow mapiter(keys sorted by the caller)
+An allow on a leaf allocation or ambient read also stops its fact, so
+one reasoned allow clears the callers above it.
 Opt a function into hotalloc with //rhlint:hotpath in its doc comment.
 
 Analyzers:

@@ -1,0 +1,33 @@
+// Package leaf is the bottom of the facts fixture: it performs the
+// ambient reads and allocations. Its import path is NOT
+// simulation-visible, so nothing is reported here — the facts computed
+// about these functions are the whole point.
+package leaf
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock: carries Impure{TimeNow}.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Describe allocates through fmt.Sprintf: carries Allocates.
+func Describe(x int) string { return fmt.Sprintf("leaf %d", x) }
+
+// NewRNG is a seeded constructor wrapper: carries ReturnsDerivedPRNG.
+func NewRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+var shared = rand.New(rand.NewSource(1))
+
+// Global hands out the package-shared generator: PRNG-typed result but
+// NO ReturnsDerivedPRNG fact, so callers may not treat it as fresh.
+func Global() *rand.Rand { return shared }
+
+// AllowedStamp reads the clock under a reasoned allow. The allow stops
+// the Impure fact here, so every caller above stays clean.
+func AllowedStamp() int64 {
+	//rhlint:allow wallclock(coarse log timestamp, never simulated state)
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,27 @@
+// Package mid is the clean-looking middle layer of the facts fixture:
+// no ambient read and no allocation appears in this file, yet most of
+// these wrappers inherit facts from package leaf. Its import path is
+// NOT simulation-visible, so nothing is reported here either.
+package mid
+
+import (
+	"math/rand"
+
+	"example.com/facts/leaf"
+)
+
+// When inherits Impure{TimeNow} from leaf.Stamp.
+func When() int64 { return leaf.Stamp() }
+
+// Note inherits Allocates from leaf.Describe.
+func Note(x int) string { return leaf.Describe(x) }
+
+// Fresh inherits ReturnsDerivedPRNG from leaf.NewRNG.
+func Fresh(seed int64) *rand.Rand { return leaf.NewRNG(seed) }
+
+// Shared forwards the shared-global accessor: no fact, like its callee.
+func Shared() *rand.Rand { return leaf.Global() }
+
+// Logged calls the allowed leaf read: the leaf-side allow already
+// stopped the Impure fact, so Logged carries none.
+func Logged() int64 { return leaf.AllowedStamp() }

@@ -1,0 +1,36 @@
+// Package sim is the simulation-visible top of the facts fixture:
+// every call here looks innocent in isolation and is only flaggable
+// through the facts imported from packages mid and leaf.
+package sim
+
+import (
+	"math/rand"
+
+	"example.com/facts/mid"
+)
+
+// Tick is two hops from time.Now through clean-looking wrappers.
+func Tick() int64 {
+	return mid.When() // want `call to mid\.When reads wall-clock time in simulation-visible package "example\.com/facts/sim": calls leaf\.Stamp`
+}
+
+// LogTime calls the chain whose leaf read carries a reasoned allow:
+// the fact stopped at the leaf, so nothing is reported here.
+func LogTime() int64 {
+	return mid.Logged()
+}
+
+//rhlint:hotpath
+func Hot(x int) string {
+	return mid.Note(x) // want `call to mid\.Note allocates in hotpath Hot: calls leaf\.Describe at mid\.go:\d+: calls fmt\.Sprintf`
+}
+
+// Workers forks per-goroutine state. mid.Fresh carries
+// ReturnsDerivedPRNG, so its result counts as a fresh generator;
+// mid.Shared does not, so its result may not cross the boundary.
+func Workers(seed int64) {
+	go consume(mid.Fresh(seed))
+	go consume(mid.Shared()) // want `PRNG mid\.Shared\(\) passed across goroutine boundary`
+}
+
+func consume(r *rand.Rand) { _ = r.Int63() }

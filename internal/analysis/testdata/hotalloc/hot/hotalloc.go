@@ -55,12 +55,12 @@ func nonCapturing() func() {
 
 //rhlint:hotpath
 func boxesInt(v int64) int {
-	return sink(v) // want `interface conversion boxes int64 in hotpath boxesInt`
+	return sink(v) // want `interface conversion boxes int64 in hotpath boxesInt` `variadic interface parameter in hotpath boxesInt`
 }
 
 //rhlint:hotpath
 func boxesStruct(n node) int {
-	return sink(n) // want `interface conversion boxes .*node in hotpath boxesStruct`
+	return sink(n) // want `interface conversion boxes .*node in hotpath boxesStruct` `variadic interface parameter in hotpath boxesStruct`
 }
 
 //rhlint:hotpath
@@ -68,11 +68,12 @@ func boxesExplicit(v int) any {
 	return any(v) // want `interface conversion boxes int in hotpath boxesExplicit`
 }
 
-// pointerShaped: a pointer fits in the interface word — no box, no report.
+// pointerShaped: a pointer fits in the interface word — no box — but
+// the variadic ...any call still allocates its backing slice.
 //
 //rhlint:hotpath
 func pointerShaped(p *node) int {
-	return sink(p)
+	return sink(p) // want `variadic interface parameter in hotpath pointerShaped`
 }
 
 //rhlint:hotpath

@@ -9,11 +9,19 @@ package analysis
 //	                        JSON config the go command wrote
 //
 // The config carries the file set of one package plus the export-data
-// and fact-file locations of its dependencies. rhlint's analyzers are
-// fact-free, so dependency fact files are ignored and an empty fact
-// file is written for dependents; VetxOnly invocations (the go command
-// pre-computing facts for dependencies, including the standard library)
-// return without parsing anything.
+// and fact-file locations of its dependencies. Facts are real here: a
+// unit decodes the .vetx files of its direct dependencies
+// (cfg.PackageVetx), runs the analyzers — fact computation included —
+// and writes every fact it knows (its own and its dependencies',
+// so transitivity survives the direct-deps-only handoff) to
+// cfg.VetxOutput. VetxOnly invocations — the go command pre-computing
+// facts for dependencies — do the same minus diagnostics.
+//
+// The standard library is the deliberate exception: std units get an
+// empty fact file without analysis, because the standalone driver
+// (load.go) never walks std sources and the two drivers must produce
+// identical diagnostics. Standard-library knowledge lives in curated
+// tables inside the analyzers instead.
 
 import (
 	"crypto/sha256"
@@ -27,7 +35,9 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 )
 
@@ -42,6 +52,8 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
@@ -98,7 +110,7 @@ func UnitMain(args []string) {
 
 // printVersion emits the -V=full fingerprint the go command hashes into
 // its build cache key: content-derived, so editing the analyzers
-// invalidates cached vet results.
+// invalidates cached vet results — fact files included.
 func printVersion() {
 	h := sha256.New()
 	if exe, err := os.Executable(); err == nil {
@@ -127,6 +139,44 @@ func printUnitFlags() {
 	os.Stdout.Write(data)
 }
 
+// writeVetx persists the fact store (nil for the empty std stub).
+func writeVetx(path string, facts *FactStore) {
+	if path == "" {
+		return
+	}
+	var data []byte
+	if facts != nil {
+		var err error
+		data, err = facts.Encode()
+		if err != nil {
+			log.Fatalf("writing facts: %v", err)
+		}
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		log.Fatalf("writing facts: %v", err)
+	}
+}
+
+// isStdUnit reports whether the unit describes a standard-library
+// package. cfg.Standard only lists the unit's std *dependencies* (the
+// go command never marks the unit itself), so the load-bearing signal
+// is the unit's own sources living under GOROOT.
+func isStdUnit(cfg *vetConfig) bool {
+	if cfg.Standard[cfg.ImportPath] {
+		return true
+	}
+	goroot := runtime.GOROOT()
+	if goroot == "" || len(cfg.GoFiles) == 0 {
+		return false
+	}
+	for _, f := range cfg.GoFiles {
+		if !strings.HasPrefix(f, goroot+string(filepath.Separator)) {
+			return false
+		}
+	}
+	return true
+}
+
 func runUnit(cfgFile string, enabled map[string]bool) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
@@ -137,14 +187,33 @@ func runUnit(cfgFile string, enabled map[string]bool) int {
 		log.Fatalf("cannot decode vet config %s: %v", cfgFile, err)
 	}
 
-	// Dependents expect a fact file to exist; rhlint has no facts.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			log.Fatalf("writing facts: %v", err)
-		}
-	}
-	if cfg.VetxOnly {
+	// Standard-library units are not analyzed (see the package comment):
+	// empty fact file, immediate success.
+	if isStdUnit(cfg) {
+		writeVetx(cfg.VetxOutput, nil)
 		return 0
+	}
+
+	// Import the facts of the direct dependencies. Transitive facts are
+	// present because every unit re-exports everything it knows.
+	facts := NewFactStore()
+	vetxPaths := make([]string, 0, len(cfg.PackageVetx))
+	//rhlint:allow mapiter(paths are sorted before use)
+	for _, file := range cfg.PackageVetx {
+		vetxPaths = append(vetxPaths, file)
+	}
+	sort.Strings(vetxPaths)
+	for _, file := range vetxPaths {
+		fdata, err := os.ReadFile(file)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // tolerated: dependency had no facts to give
+			}
+			log.Fatalf("reading facts: %v", err)
+		}
+		if err := facts.Decode(fdata); err != nil {
+			log.Fatalf("reading facts %s: %v", file, err)
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -156,14 +225,27 @@ func runUnit(cfgFile string, enabled map[string]bool) int {
 		return os.Open(file)
 	})
 
+	// Parse and type-check the unit. For VetxOnly units a failure only
+	// costs precision (no facts from this package), never correctness,
+	// so degrade to an empty contribution rather than breaking the
+	// build — cgo-processed dependencies are the common case.
+	softFail := func(err error) int {
+		if cfg.VetxOnly {
+			writeVetx(cfg.VetxOutput, facts)
+			return 0
+		}
+		if cfg.SucceedOnTypecheckFailure {
+			return 0 // the compiler reports the error
+		}
+		log.Fatal(err)
+		return 2
+	}
+
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
-			if cfg.SucceedOnTypecheckFailure {
-				return 0 // the compiler reports the syntax error
-			}
-			log.Fatal(err)
+			return softFail(err)
 		}
 		files = append(files, f)
 	}
@@ -175,10 +257,7 @@ func runUnit(cfgFile string, enabled map[string]bool) int {
 	}
 	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return 0
-		}
-		log.Fatal(err)
+		return softFail(err)
 	}
 
 	analyzers := Analyzers()
@@ -203,14 +282,21 @@ func runUnit(cfgFile string, enabled map[string]bool) int {
 	}
 
 	pkg := &Package{Path: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info}
-	diags, err := RunPackage(pkg, analyzers)
+	diags, err := RunPackage(pkg, analyzers, facts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	writeVetx(cfg.VetxOutput, facts)
+	if cfg.VetxOnly {
+		return 0
 	}
-	if len(diags) > 0 {
+	active := ActiveOnly(diags)
+	for _, d := range active {
+		// Same rendering as the standalone driver — the fixture parity
+		// test compares the two streams line for line.
+		fmt.Fprintln(os.Stderr, d.String())
+	}
+	if len(active) > 0 {
 		return 1
 	}
 	return 0

@@ -167,6 +167,7 @@ func (c *Core) Tick() {
 			if c.rec.NoCache {
 				read = c.llc.ReadUncached // flush+load: always reaches DRAM
 			}
+			//rhlint:allow hotalloc(one completion closure per issued read, amortized over the read's multi-cycle memory latency)
 			if !read(req, c.rec.Addr, func() { c.done[s] = true; c.outstanding-- }) {
 				break
 			}

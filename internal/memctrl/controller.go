@@ -743,6 +743,7 @@ func (c *Controller) tryMitigation() bool {
 		}
 		if c.ch.CanIssue(dram.CmdPRE, 0, op.bank, 0, c.cycle) {
 			c.issueRowChange(dram.CmdPRE, op.bank, 0)
+			//rhlint:allow hotalloc(in-place removal: dst and src share mitQ's backing array, so the append never grows it)
 			c.mitQ = append(c.mitQ[:idx], c.mitQ[idx+1:]...)
 			return true
 		}
@@ -817,6 +818,7 @@ func (c *Controller) blissBlacklist(id int) {
 		c.blissBlackGen[id] = c.blissGen
 	} else {
 		if c.blissOver == nil {
+			//rhlint:allow hotalloc(one-time lazy init of the overflow map; requester ids below maxTrackedRequesters use the flat array)
 			c.blissOver = make(map[int]bool)
 		}
 		c.blissOver[id] = true

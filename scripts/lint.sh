@@ -25,7 +25,11 @@ go vet ./... || fail=1
 echo "== rhlint =="
 rhlint_bin="$(mktemp -t rhlint.XXXXXX)"
 if go build -o "$rhlint_bin" ./cmd/rhlint; then
+	# The gate: go vet mode covers test packages and rides the build cache.
 	go vet -vettool="$rhlint_bin" ./... || fail=1
+	# The inventory: the -json run's stderr summary counts findings,
+	# suppressed (//rhlint:allow) sites, packages, and facts.
+	"$rhlint_bin" -json ./... >/dev/null || fail=1
 else
 	fail=1
 fi
